@@ -1,0 +1,52 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every module under ``benchmarks/`` regenerates one table/figure of the
+paper's evaluation (Fig. 7a-7h) or one ablation, printing the same
+rows/series the paper reports and asserting the qualitative shape.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — laptop-friendly parameter grids, minutes total;
+* ``full``  — the paper's full grids (e.g. 16k subscriptions, 80k flows).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def scaled(quick, full):
+    """Pick a parameter grid according to the benchmark scale."""
+    return full if SCALE == "full" else quick
+
+
+@pytest.fixture
+def scale() -> str:
+    return SCALE
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Render one paper-style result table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

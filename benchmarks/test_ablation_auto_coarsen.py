@@ -1,0 +1,103 @@
+"""Ablation: the TCAM occupancy guard (requirement 3's reactive side).
+
+When flow tables approach capacity, the controller can re-index the
+partition at half the dz length: coarser subspaces aggregate into far
+fewer entries at the cost of more false positives.  This bench quantifies
+both sides of the trade on a workload that overflows a small TCAM.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.middleware.pleroma import Pleroma
+from repro.network.fabric import NetworkParams
+from repro.network.topology import paper_fat_tree
+from repro.workloads.scenarios import paper_zipfian
+
+SUBSCRIPTIONS = scaled(200, 800)
+EVENTS = scaled(600, 2_000)
+CAPACITY = 150
+DIMENSIONS = 3
+
+
+def run_once(auto_coarsen: bool) -> dict:
+    workload = paper_zipfian(dimensions=DIMENSIONS, seed=131)
+    middleware = Pleroma(
+        paper_fat_tree(),
+        space=workload.space,
+        max_dz_length=20,
+        max_cells=32,
+        params=NetworkParams(switch_table_capacity=CAPACITY),
+        auto_coarsen=auto_coarsen,
+        occupancy_threshold=0.7,
+    )
+    hosts = middleware.topology.hosts()
+    middleware.advertise(hosts[0], workload.advertisement_covering_all())
+    overflowed = False
+    installed = 0
+    from repro.exceptions import FlowTableError
+
+    for i, sub in enumerate(workload.subscriptions(SUBSCRIPTIONS)):
+        try:
+            middleware.subscribe(hosts[1 + i % 7], sub)
+            installed += 1
+        except FlowTableError:
+            overflowed = True
+            break
+    fpr = float("nan")
+    if not overflowed:
+        for event in workload.events(EVENTS):
+            middleware.publish(hosts[0], event)
+        middleware.run()
+        fpr = middleware.metrics.false_positive_rate()
+    controller = middleware.controllers[0]
+    return {
+        "installed": installed,
+        "overflowed": overflowed,
+        "max_flows": max(
+            len(s.table) for s in middleware.network.switches.values()
+        ),
+        "dz_length": controller.indexer.max_dz_length,
+        "coarsen_rounds": len(controller.coarsen_events),
+        "fpr": fpr,
+    }
+
+
+def test_occupancy_guard_tradeoff(benchmark):
+    guarded = benchmark.pedantic(run_once, args=(True,), rounds=1, iterations=1)
+    unguarded = run_once(False)
+
+    print_table(
+        f"Ablation: TCAM occupancy guard (capacity {CAPACITY}/switch)",
+        [
+            "guard",
+            "subs installed",
+            "overflowed",
+            "max flows/switch",
+            "final dz bits",
+            "coarsen rounds",
+            "FPR (%)",
+        ],
+        [
+            (
+                name,
+                r["installed"],
+                r["overflowed"],
+                r["max_flows"],
+                r["dz_length"],
+                r["coarsen_rounds"],
+                r["fpr"],
+            )
+            for name, r in (("on", guarded), ("off", unguarded))
+        ],
+    )
+
+    # without the guard the workload overflows the TCAM
+    assert unguarded["overflowed"]
+    # with it, everything installs within capacity at a coarser indexing
+    assert not guarded["overflowed"]
+    assert guarded["installed"] == SUBSCRIPTIONS
+    assert guarded["max_flows"] <= CAPACITY
+    assert guarded["coarsen_rounds"] >= 1
+    assert guarded["dz_length"] < 20

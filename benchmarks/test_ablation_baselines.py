@@ -1,0 +1,127 @@
+"""Ablation: PLEROMA vs. broker overlay vs. flooding.
+
+The comparisons the paper's introduction argues qualitatively, measured on
+the same topology and workload:
+
+* **delay** — broker hops add software matching delay that grows with the
+  filter count; PLEROMA's TCAM path does not (Sec. 1);
+* **bandwidth** — flooding wastes links; PLEROMA filters in-network with a
+  bounded false-positive overhead;
+* **precision** — brokers filter exactly (0% FPR); PLEROMA trades a small
+  FPR for line-rate forwarding; flooding delivers everything to everyone.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.baselines.broker import FloodingOverlay, SingleTreeBrokerOverlay
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import paper_fat_tree
+from repro.sim.engine import Simulator
+from repro.workloads.scenarios import paper_zipfian
+
+SUBSCRIPTIONS = scaled(400, 2_000)
+EVENTS = scaled(300, 2_000)
+DIMENSIONS = 3
+PUBLISHER = "h1"
+SUBSCRIBER_HOSTS = ["h2", "h3", "h4", "h5", "h6", "h7", "h8"]
+
+
+def _workload():
+    return paper_zipfian(dimensions=DIMENSIONS, seed=61)
+
+
+def run_pleroma(subs, events) -> dict:
+    workload = _workload()
+    middleware = Pleroma(
+        paper_fat_tree(), space=workload.space, max_dz_length=15
+    )
+    middleware.advertise(PUBLISHER, workload.advertisement_covering_all())
+    host_subs = {h: [] for h in SUBSCRIBER_HOSTS}
+    for i, sub in enumerate(subs):
+        host = SUBSCRIBER_HOSTS[i % len(SUBSCRIBER_HOSTS)]
+        middleware.subscribe(host, sub)
+        host_subs[host].append(sub)
+    # pace the publishes well below host capacity so the measured delay is
+    # the forwarding path, not ingestion queueing (the broker baseline has
+    # no queueing model, so a burst would bias the comparison against us)
+    interval = 1e-3
+    for i, event in enumerate(events):
+        middleware.sim.schedule(
+            i * interval, middleware.publish, PUBLISHER, event
+        )
+    middleware.run()
+    return {
+        "delivered": middleware.metrics.delivered,
+        "fpr": middleware.metrics.false_positive_rate(),
+        "mean_delay_ms": middleware.metrics.mean_delay() * 1e3,
+        "link_packets": middleware.network.total_link_packets(),
+    }
+
+
+def run_overlay(cls, subs, events) -> dict:
+    overlay = cls(Simulator(), paper_fat_tree())
+    host_subs = {h: [] for h in SUBSCRIBER_HOSTS}
+    for i, sub in enumerate(subs):
+        host = SUBSCRIBER_HOSTS[i % len(SUBSCRIBER_HOSTS)]
+        overlay.subscribe(host, sub)
+        host_subs[host].append(sub)
+    for event in events:
+        overlay.publish(PUBLISHER, event)
+    unwanted = sum(
+        1
+        for d in overlay.deliveries
+        if not any(s.matches(d.event) for s in host_subs.get(d.host, []))
+    )
+    delivered = len(overlay.deliveries)
+    return {
+        "delivered": delivered,
+        "fpr": 100.0 * unwanted / delivered if delivered else 0.0,
+        "mean_delay_ms": overlay.mean_delay() * 1e3 if delivered else 0.0,
+        "link_packets": overlay.total_link_packets(),
+    }
+
+
+def test_pleroma_vs_baselines(benchmark):
+    workload = _workload()
+    subs = workload.subscriptions(SUBSCRIPTIONS)
+    events = workload.events(EVENTS)
+
+    pleroma = benchmark.pedantic(
+        run_pleroma, args=(subs, events), rounds=1, iterations=1
+    )
+    broker = run_overlay(SingleTreeBrokerOverlay, subs, events)
+    flooding = run_overlay(FloodingOverlay, subs, events)
+
+    print_table(
+        "Ablation: PLEROMA vs broker overlay vs flooding",
+        ["system", "delivered", "FPR (%)", "mean delay (ms)", "link packets"],
+        [
+            (
+                name,
+                r["delivered"],
+                r["fpr"],
+                r["mean_delay_ms"],
+                r["link_packets"],
+            )
+            for name, r in (
+                ("PLEROMA", pleroma),
+                ("broker tree", broker),
+                ("flooding", flooding),
+            )
+        ],
+    )
+
+    # at thousands of filters, software broker matching dominates: PLEROMA's
+    # constant-time TCAM path is faster end to end
+    assert pleroma["mean_delay_ms"] < broker["mean_delay_ms"]
+    # brokers filter perfectly; PLEROMA pays a bounded FPR; flooding is
+    # indiscriminate
+    assert broker["fpr"] == 0.0
+    assert pleroma["fpr"] < flooding["fpr"]
+    # flooding reaches every host: strictly more deliveries than PLEROMA
+    assert flooding["delivered"] >= pleroma["delivered"]
+    # PLEROMA never drops a wanted event: it delivers at least as many
+    # events as the exact broker (its extra deliveries are false positives)
+    assert pleroma["delivered"] >= broker["delivered"]

@@ -1,0 +1,70 @@
+"""Ablation: covering-based forwarding on vs. off (Sec. 4.2).
+
+"A subscription request is only forwarded to an adjoining network if it is
+not covered by the previously forwarded subscriptions (to save
+inter-switch network control traffic)."  This ablation measures how many
+inter-controller messages that rule actually saves on the ring workload.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.controller.controller import PleromaController
+from repro.core.spatial_index import SpatialIndexer
+from repro.interop.federation import Federation
+from repro.network.fabric import Network
+from repro.network.topology import partition_switches, ring
+from repro.sim.engine import Simulator
+from repro.workloads.scenarios import paper_zipfian
+
+CONTROLLERS = 5
+SUB_COUNT = scaled(200, 400)
+DIMENSIONS = 3
+
+
+def run_once(covering_enabled: bool) -> dict:
+    topo = ring(20)
+    sim = Simulator()
+    net = Network(sim, topo)
+    workload = paper_zipfian(dimensions=DIMENSIONS, seed=53)
+    indexer = SpatialIndexer(workload.space, max_dz_length=12, max_cells=32)
+    controllers = [
+        PleromaController(net, indexer, partition=chunk, name=f"c{i + 1}")
+        for i, chunk in enumerate(partition_switches(topo, CONTROLLERS))
+    ]
+    federation = Federation(net, controllers, covering_enabled=covering_enabled)
+    hosts = topo.hosts()
+    federation.advertise(hosts[0], workload.advertisement_covering_all())
+    sim.run()
+    for i, sub in enumerate(workload.subscriptions(SUB_COUNT)):
+        federation.subscribe(hosts[(i * 7) % len(hosts)], sub)
+        sim.run()
+    return {
+        "messages": sum(federation.stats.messages_sent.values()),
+        "total_traffic": federation.stats.total_control_traffic(),
+    }
+
+
+def test_covering_saves_control_traffic(benchmark):
+    with_covering = benchmark.pedantic(
+        run_once, args=(True,), rounds=1, iterations=1
+    )
+    without_covering = run_once(False)
+    saved = 1.0 - with_covering["messages"] / without_covering["messages"]
+    print_table(
+        "Ablation: covering-based forwarding",
+        ["covering", "inter-controller msgs", "total control msgs"],
+        [
+            ("on", with_covering["messages"], with_covering["total_traffic"]),
+            (
+                "off",
+                without_covering["messages"],
+                without_covering["total_traffic"],
+            ),
+            ("saved", f"{saved:.1%}", ""),
+        ],
+    )
+    # zipfian subscriptions overlap heavily: covering must cut messages
+    # substantially
+    assert with_covering["messages"] < without_covering["messages"] * 0.7

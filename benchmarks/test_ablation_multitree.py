@@ -1,0 +1,108 @@
+"""Ablation: multiple publisher-rooted trees vs. one global spanning tree.
+
+Sec. 3.1 motivates PLEROMA's multi-tree design: a single spanning tree
+"imposes limits on the capacity of forwarding events — while links in the
+core are heavily utilized other links remain even idle".  This ablation
+publishes the same workload through (a) PLEROMA with per-publisher trees
+and (b) the single-tree broker baseline, and compares the distribution of
+load over links.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.baselines.broker import SingleTreeBrokerOverlay
+from repro.core.subscription import Subscription
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import paper_fat_tree
+from repro.sim.engine import Simulator
+from repro.workloads.scenarios import paper_uniform
+
+EVENTS_PER_PUBLISHER = scaled(150, 1_000)
+DIMENSIONS = 2
+
+# one publisher per pod, subscribers spread across pods
+PUBLISHERS = ["h1", "h3", "h5", "h7"]
+SUBSCRIBERS = ["h2", "h4", "h6", "h8"]
+
+
+#: Each publisher owns one quarter of the attr0 axis, so PLEROMA builds one
+#: tree per publisher (disjoint DZ); the single-tree baseline carries all
+#: four event streams through the same spanning tree.
+QUARTERS = [(0, 255), (256, 511), (512, 767), (768, 1023)]
+
+
+def run_pleroma(workload, events) -> list[int]:
+    from repro.core.subscription import Advertisement
+
+    middleware = Pleroma(
+        paper_fat_tree(), space=workload.space, max_dz_length=12
+    )
+    for host, quarter in zip(PUBLISHERS, QUARTERS):
+        middleware.advertise(host, Advertisement.of(attr0=quarter))
+    for host in SUBSCRIBERS:
+        middleware.subscribe(host, Subscription.of(attr0=(0, 1023)))
+    for publisher, batch in zip(PUBLISHERS, events):
+        for event in batch:
+            middleware.publish(publisher, event)
+    middleware.run()
+    loads = sorted(
+        (
+            link.total_packets
+            for key, link in middleware.network.links.items()
+            if all(not n.startswith("h") for n in key)
+        ),
+        reverse=True,
+    )
+    return loads
+
+
+def run_single_tree(workload, events) -> list[int]:
+    overlay = SingleTreeBrokerOverlay(Simulator(), paper_fat_tree())
+    for host in SUBSCRIBERS:
+        overlay.subscribe(host, Subscription.of(attr0=(0, 1023)))
+    for publisher, batch in zip(PUBLISHERS, events):
+        for event in batch:
+            overlay.publish(publisher, event)
+    return overlay.link_load_distribution()
+
+
+def test_multitree_balances_link_load(benchmark):
+    workload = paper_uniform(dimensions=DIMENSIONS, seed=47)
+    rng = workload.rng
+    events = []
+    for low, high in QUARTERS:
+        batch = []
+        for _ in range(EVENTS_PER_PUBLISHER):
+            event = workload.event()
+            values = dict(event.values)
+            values["attr0"] = rng.uniform(low, high)
+            batch.append(type(event)(values=values, event_id=event.event_id))
+        events.append(batch)
+    pleroma_loads = benchmark.pedantic(
+        run_pleroma, args=(workload, events), rounds=1, iterations=1
+    )
+    tree_loads = run_single_tree(workload, events)
+
+    def stats(loads):
+        used = [l for l in loads if l > 0]
+        return max(loads), sum(loads) / max(len(used), 1), len(used)
+
+    p_max, p_mean, p_used = stats(pleroma_loads)
+    t_max, t_mean, t_used = stats(tree_loads)
+    print_table(
+        "Ablation: link-load balance, multi-tree vs single tree",
+        ["design", "hottest link (pkts)", "mean used-link load", "links used"],
+        [
+            ("PLEROMA multi-tree", p_max, p_mean, p_used),
+            ("single spanning tree", t_max, t_mean, t_used),
+        ],
+    )
+
+    # the single tree funnels everything through few edges: its hottest
+    # link carries more traffic, fewer links participate, and the links it
+    # does use run hotter on average
+    assert p_max < t_max
+    assert p_used > t_used
+    assert p_mean < t_mean

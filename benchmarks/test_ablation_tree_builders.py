@@ -1,0 +1,117 @@
+"""Ablation: tree-construction strategy (Sec. 3.2, footnote 2).
+
+``createTree`` is pluggable: the paper uses shortest-path trees but notes
+minimum-spanning-tree construction works "without any modification".  This
+ablation measures what the choice costs on the fat-tree: end-to-end delay
+(path stretch) and link-load spread for SPT (per-publisher, depth-minimal),
+MST (one shared physical tree), and a random spanning tree.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.core.subscription import Advertisement, Subscription
+from repro.network.topology import paper_fat_tree
+from repro.workloads.scenarios import paper_uniform
+
+EVENTS_PER_PUBLISHER = scaled(150, 800)
+QUARTERS = [(0, 255), (256, 511), (512, 767), (768, 1023)]
+PUBLISHERS = ["h1", "h3", "h5", "h7"]
+SUBSCRIBERS = ["h2", "h4", "h6", "h8"]
+
+
+def run_once(builder: str, events) -> dict:
+    from repro.controller.controller import PleromaController
+    from repro.core.spatial_index import SpatialIndexer
+    from repro.network.fabric import Network
+    from repro.sim.engine import Simulator
+
+    workload = paper_uniform(dimensions=2, seed=67)
+    sim = Simulator()
+    net = Network(sim, paper_fat_tree())
+    indexer = SpatialIndexer(workload.space, max_dz_length=12)
+    controller = PleromaController(net, indexer, tree_builder=builder)
+    for host, quarter in zip(PUBLISHERS, QUARTERS):
+        controller.advertise(host, Advertisement.of(attr0=quarter))
+    for host in SUBSCRIBERS:
+        controller.subscribe(host, Subscription.of(attr0=(0, 1023)))
+    deliveries = []
+    for host in SUBSCRIBERS:
+        net.hosts[host].set_delivery_callback(
+            lambda payload, pkt, now: deliveries.append(
+                now - payload.publish_time
+            )
+        )
+    from repro.core.addressing import dz_to_address
+    from repro.network.packet import EventPayload, Packet, event_packet_size
+
+    step = 0
+    for publisher, batch in zip(PUBLISHERS, events):
+        for event in batch:
+            dz = indexer.event_to_dz(event)
+
+            def send(host=publisher, e=event, d=dz):
+                net.hosts[host].send(
+                    Packet(
+                        dst_address=dz_to_address(d),
+                        payload=EventPayload(e, d, host, sim.now),
+                        size_bytes=event_packet_size(d),
+                    )
+                )
+
+            sim.schedule(step * 5e-4, send)
+            step += 1
+    sim.run()
+    loads = sorted(
+        (
+            link.total_packets
+            for key, link in net.links.items()
+            if all(not n.startswith("h") for n in key)
+        ),
+        reverse=True,
+    )
+    used = [l for l in loads if l > 0]
+    return {
+        "mean_delay_ms": sum(deliveries) / len(deliveries) * 1e3,
+        "hottest_link": loads[0],
+        "links_used": len(used),
+    }
+
+
+def test_tree_builder_ablation(benchmark):
+    workload = paper_uniform(dimensions=2, seed=67)
+    rng = workload.rng
+    events = []
+    for low, high in QUARTERS:
+        batch = []
+        for _ in range(EVENTS_PER_PUBLISHER):
+            event = workload.event()
+            values = dict(event.values)
+            values["attr0"] = rng.uniform(low, high)
+            batch.append(type(event)(values=values, event_id=event.event_id))
+        events.append(batch)
+
+    results = {
+        "spt": benchmark.pedantic(
+            run_once, args=("spt", events), rounds=1, iterations=1
+        ),
+        "mst": run_once("mst", events),
+        "random": run_once("random", events),
+    }
+    print_table(
+        "Ablation: tree construction strategy",
+        ["builder", "mean delay (ms)", "hottest link (pkts)", "links used"],
+        [
+            (name, r["mean_delay_ms"], r["hottest_link"], r["links_used"])
+            for name, r in results.items()
+        ],
+    )
+
+    # SPT minimises depth: its delay is never worse than the random tree's
+    assert results["spt"]["mean_delay_ms"] <= results["random"][
+        "mean_delay_ms"
+    ] * 1.05
+    # per-publisher SPTs spread load at least as well as one shared MST
+    assert results["spt"]["links_used"] >= results["mst"]["links_used"]
+    assert results["spt"]["hottest_link"] <= results["mst"]["hottest_link"]

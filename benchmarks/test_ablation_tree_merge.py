@@ -1,0 +1,98 @@
+"""Ablation: tree-merge threshold (Sec. 3.2).
+
+Merging trees above a threshold bounds the number of dissemination
+structures at the price of coarser DZ sets (more shared traffic per tree).
+This sweep shows the trade-off: a lower threshold means fewer trees and a
+smaller total flow count, while a high threshold keeps trees specialised.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import paper_fat_tree
+from repro.workloads.scenarios import paper_uniform
+
+THRESHOLDS = scaled([2, 8, 32], [1, 2, 4, 8, 16, 32, 64])
+ADVERTISEMENTS = scaled(24, 64)
+SUBSCRIPTIONS = scaled(60, 200)
+DIMENSIONS = 2
+
+
+def run_once(threshold: int) -> dict:
+    topo = paper_fat_tree()
+    workload = paper_uniform(
+        dimensions=DIMENSIONS, seed=59, width_fraction=0.25
+    )
+    middleware = Pleroma(
+        topo,
+        space=workload.space,
+        max_dz_length=10,
+        merge_threshold=threshold,
+    )
+    hosts = topo.hosts()
+    for i in range(ADVERTISEMENTS):
+        sub = workload.subscription()  # reuse a random box as advertisement
+        from repro.core.subscription import Advertisement
+
+        middleware.advertise(
+            hosts[i % len(hosts)], Advertisement(filter=sub.filter)
+        )
+    for i, sub in enumerate(workload.subscriptions(SUBSCRIPTIONS)):
+        middleware.subscribe(hosts[(i + 3) % len(hosts)], sub)
+    controller = middleware.controllers[0]
+    controller.check_invariants()
+    return {
+        "trees": len(controller.trees),
+        "created": controller.trees.trees_created,
+        "merges": controller.trees.trees_merged,
+        "flows": middleware.total_flows_installed(),
+        "flow_mods": controller.total_flow_mods,
+    }
+
+
+def test_tree_merge_threshold_tradeoff(benchmark):
+    results = {}
+    for threshold in THRESHOLDS[:-1]:
+        results[threshold] = run_once(threshold)
+    results[THRESHOLDS[-1]] = benchmark.pedantic(
+        run_once, args=(THRESHOLDS[-1],), rounds=1, iterations=1
+    )
+
+    print_table(
+        "Ablation: tree-merge threshold",
+        [
+            "threshold",
+            "live trees",
+            "trees created",
+            "merges",
+            "flow entries",
+            "flow mods",
+        ],
+        [
+            (
+                t,
+                r["trees"],
+                r["created"],
+                r["merges"],
+                r["flows"],
+                r["flow_mods"],
+            )
+            for t, r in sorted(results.items())
+        ],
+    )
+
+    thresholds = sorted(results)
+    # the threshold is honoured
+    for t in thresholds:
+        assert results[t]["trees"] <= t
+    # aggressive merging keeps trees coarse, so later advertisements join
+    # existing trees instead of spawning new ones
+    assert (
+        results[thresholds[0]]["created"] <= results[thresholds[-1]]["created"]
+    )
+    # fewer live trees as the threshold shrinks
+    assert results[thresholds[0]]["trees"] <= results[thresholds[-1]]["trees"]
+    # merging happens at every threshold in this workload
+    assert all(r["merges"] > 0 for r in results.values())

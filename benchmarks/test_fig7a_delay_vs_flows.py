@@ -1,0 +1,87 @@
+"""Fig. 7(a): end-to-end delay vs. flow-table size.
+
+Paper setup (Sec. 6.2): publisher and subscriber connected via the longest
+path of the fat-tree testbed; the flow tables of every switch on the path
+are filled with 5,000–80,000 entries; 10,000 random UDP events (<=64 B) are
+sent at a constant rate.  Result: "the average delay calculated at the
+subscriber remains almost constant for different flow table sizes" — TCAM
+lookup latency is occupancy-independent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import print_table, scaled
+
+from repro.core.dz import Dz
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Subscription
+from repro.middleware.pleroma import Pleroma
+from repro.network.flow import Action, FlowEntry
+from repro.network.topology import paper_fat_tree
+
+FLOW_COUNTS = scaled([5_000, 20_000, 80_000], [5_000, 10_000, 20_000, 40_000, 80_000])
+EVENTS = scaled(2_000, 10_000)
+SEND_RATE_EPS = 2_000.0
+
+# Real traffic lives in the '0' half-space (attr0 < 512); dummy entries are
+# packed into the '1' half so they sit in the table without matching.
+_DUMMY_LENGTH = 18
+
+
+def _fill_dummy_flows(middleware: Pleroma, path_switches, count: int) -> None:
+    for name in path_switches:
+        table = middleware.network.switches[name].table
+        for i in range(count):
+            dz = Dz.from_value((1 << (_DUMMY_LENGTH - 1)) | i, _DUMMY_LENGTH)
+            table.install(FlowEntry.for_dz(dz, {Action(1)}))
+
+
+def run_once(flow_count: int) -> float:
+    """Deploy path + dummy flows, stream events, return mean delay (ms)."""
+    topo = paper_fat_tree()
+    pub_host, sub_host = topo.diameter_path()
+    middleware = Pleroma(topo, dimensions=1, max_dz_length=10)
+    middleware.advertise(pub_host, Advertisement.of(attr0=(0, 511)))
+    middleware.subscribe(sub_host, Subscription.of(attr0=(0, 511)))
+    path = [
+        node
+        for node in topo.shortest_path(pub_host, sub_host)
+        if topo.is_switch(node)
+    ]
+    _fill_dummy_flows(middleware, path, flow_count)
+
+    rng = random.Random(7)
+    interval = 1.0 / SEND_RATE_EPS
+    for i in range(EVENTS):
+        middleware.sim.schedule(
+            i * interval,
+            middleware.publish,
+            pub_host,
+            Event.of(attr0=rng.uniform(0, 511)),
+        )
+    middleware.run()
+    assert middleware.metrics.delivered == EVENTS
+    return middleware.metrics.mean_delay() * 1e3
+
+
+def test_fig7a_delay_constant_across_table_sizes(benchmark):
+    results = {}
+    for count in FLOW_COUNTS[:-1]:
+        results[count] = run_once(count)
+    # time the largest configuration under the benchmark harness
+    results[FLOW_COUNTS[-1]] = benchmark.pedantic(
+        run_once, args=(FLOW_COUNTS[-1],), rounds=1, iterations=1
+    )
+
+    print_table(
+        "Fig 7(a): end-to-end delay vs number of flows",
+        ["flows/switch", "mean delay (ms)"],
+        [(count, delay) for count, delay in sorted(results.items())],
+    )
+
+    delays = list(results.values())
+    spread = (max(delays) - min(delays)) / min(delays)
+    # the paper's line is flat; allow a 15% band for queueing jitter
+    assert spread < 0.15, f"delay varied {spread:.1%} across table sizes"

@@ -1,0 +1,89 @@
+"""Fig. 7(b): end-to-end delay vs. number of subscriptions.
+
+Paper setup (Sec. 6.2): up to 16,000 subscriptions generated from the
+uniform and zipfian models, divided among the end hosts of the fat-tree
+testbed; end-to-end delay averaged over 10,000 events published at a
+constant rate.  Result: the number of subscriptions does not significantly
+impact delay (uniform essentially flat; zipfian varies slightly because
+hotspot-bound hosts may receive nothing).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import paper_fat_tree
+from repro.workloads.scenarios import paper_uniform, paper_zipfian
+
+SUB_COUNTS = scaled([200, 800, 3_200], [1_000, 2_000, 4_000, 8_000, 16_000])
+EVENTS = scaled(600, 10_000)
+SEND_RATE_EPS = 1_000.0
+DIMENSIONS = 4
+
+
+def run_once(model: str, sub_count: int) -> float:
+    topo = paper_fat_tree()
+    workload = (
+        paper_uniform(dimensions=DIMENSIONS, seed=13)
+        if model == "uniform"
+        else paper_zipfian(dimensions=DIMENSIONS, seed=13)
+    )
+    middleware = Pleroma(
+        topo, space=workload.space, max_dz_length=16
+    )
+    publisher = topo.hosts()[0]
+    middleware.advertise(publisher, workload.advertisement_covering_all())
+    subscriber_hosts = topo.hosts()[1:]
+    if model == "uniform":
+        # random division of the subscription set among all end hosts
+        for i, sub in enumerate(workload.subscriptions(sub_count)):
+            middleware.subscribe(
+                subscriber_hosts[i % len(subscriber_hosts)], sub
+            )
+    else:
+        # each end host is assigned one hotspot and subscribes for
+        # subspaces of its respective hotspot only (Sec. 6.2)
+        for i in range(sub_count):
+            host_idx = i % len(subscriber_hosts)
+            hotspot = workload.hotspots[host_idx % len(workload.hotspots)]
+            middleware.subscribe(
+                subscriber_hosts[host_idx], workload.subscription(hotspot)
+            )
+    interval = 1.0 / SEND_RATE_EPS
+    for i, event in enumerate(workload.events(EVENTS)):
+        middleware.sim.schedule(i * interval, middleware.publish, publisher, event)
+    middleware.run()
+    if middleware.metrics.delivered == 0:
+        return float("nan")
+    return middleware.metrics.mean_delay() * 1e3
+
+
+def test_fig7b_delay_vs_subscriptions(benchmark):
+    rows = []
+    series: dict[str, list[float]] = {"uniform": [], "zipfian": []}
+    for model in ("uniform", "zipfian"):
+        for count in SUB_COUNTS:
+            if model == "zipfian" and count == SUB_COUNTS[-1]:
+                delay = benchmark.pedantic(
+                    run_once, args=(model, count), rounds=1, iterations=1
+                )
+            else:
+                delay = run_once(model, count)
+            series[model].append(delay)
+            rows.append((model, count, delay))
+
+    print_table(
+        "Fig 7(b): end-to-end delay vs number of subscriptions",
+        ["model", "subscriptions", "mean delay (ms)"],
+        rows,
+    )
+
+    # uniform: near-constant delay across subscription counts
+    uniform = series["uniform"]
+    spread = (max(uniform) - min(uniform)) / min(uniform)
+    assert spread < 0.35, f"uniform delay varied {spread:.1%}"
+    # zipfian: may vary, but stays in the same order of magnitude
+    zipfian = [d for d in series["zipfian"] if d == d]  # drop NaN
+    assert zipfian, "zipfian workload delivered no events"
+    assert max(zipfian) < 10 * min(zipfian)

@@ -1,0 +1,111 @@
+"""Fig. 7(g): normalized average controller overhead vs. #controllers.
+
+Paper setup (Sec. 6.6): the 20-switch Mininet topology is split into 1–10
+partitions, one controller each; 100/200/400 uniform subscriptions are
+issued from random end hosts.  A controller's overhead is the number of
+requests it receives (internal from its hosts + external from neighbours).
+Results: the average overhead per controller *falls* as partitions are
+added, and falls faster with more subscriptions — covering-based
+forwarding suppresses an increasing fraction of inter-controller traffic.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.controller.controller import PleromaController
+from repro.core.spatial_index import SpatialIndexer
+from repro.interop.federation import Federation
+from repro.network.fabric import Network
+from repro.network.topology import partition_switches, ring
+from repro.sim.engine import Simulator
+from repro.workloads.scenarios import paper_uniform
+
+CONTROLLER_COUNTS = scaled([1, 2, 4, 6, 8, 10], list(range(1, 11)))
+SUB_COUNTS = scaled([100, 200, 400], [100, 200, 400])
+DIMENSIONS = 3
+
+
+def run_once(controllers: int, sub_count: int) -> dict:
+    """Deploy the ring with the given partitioning and subscription load;
+    returns the federation's control-plane statistics."""
+    topo = ring(20)
+    sim = Simulator()
+    net = Network(sim, topo)
+    workload = paper_uniform(
+        dimensions=DIMENSIONS, seed=41, width_fraction=0.25
+    )
+    indexer = SpatialIndexer(workload.space, max_dz_length=12, max_cells=32)
+    instances = [
+        PleromaController(net, indexer, partition=chunk, name=f"c{i + 1}")
+        for i, chunk in enumerate(partition_switches(topo, controllers))
+    ]
+    federation = Federation(net, instances)
+    hosts = topo.hosts()
+    # one advertisement spanning the space, flooded to every partition
+    federation.advertise(hosts[0], workload.advertisement_covering_all())
+    sim.run()
+    for i, sub in enumerate(workload.subscriptions(sub_count)):
+        federation.subscribe(hosts[(i * 7) % len(hosts)], sub)
+        sim.run()
+    stats = federation.stats
+    names = [c.name for c in instances]
+    return {
+        "avg_overhead": stats.average_overhead(names),
+        "total_traffic": stats.total_control_traffic(),
+        "messages_sent": sum(stats.messages_sent.values()),
+    }
+
+
+def collect(sub_counts, controller_counts, benchmark=None):
+    """(sub_count, controllers) -> stats, benchmarking the largest config."""
+    results: dict[tuple[int, int], dict] = {}
+    for sub_count in sub_counts:
+        for controllers in controller_counts:
+            is_largest = (
+                sub_count == sub_counts[-1]
+                and controllers == controller_counts[-1]
+            )
+            if benchmark is not None and is_largest:
+                results[(sub_count, controllers)] = benchmark.pedantic(
+                    run_once,
+                    args=(controllers, sub_count),
+                    rounds=1,
+                    iterations=1,
+                )
+            else:
+                results[(sub_count, controllers)] = run_once(
+                    controllers, sub_count
+                )
+    return results
+
+
+def test_fig7g_average_controller_overhead(benchmark):
+    results = collect(SUB_COUNTS, CONTROLLER_COUNTS, benchmark)
+
+    rows = []
+    normalized: dict[int, list[float]] = {}
+    for sub_count in SUB_COUNTS:
+        base = results[(sub_count, 1)]["avg_overhead"]
+        curve = []
+        for controllers in CONTROLLER_COUNTS:
+            value = results[(sub_count, controllers)]["avg_overhead"] / base
+            curve.append(value)
+            rows.append((sub_count, controllers, value * 100.0))
+        normalized[sub_count] = curve
+    print_table(
+        "Fig 7(g): normalized average controller overhead",
+        ["subscriptions", "controllers", "avg overhead (% of 1-ctrl)"],
+        rows,
+    )
+
+    for sub_count, curve in normalized.items():
+        # overhead falls with partitioning
+        assert curve[-1] < curve[0], f"{sub_count} subs: no reduction"
+        # and monotonically-ish (each step within a small tolerance)
+        for earlier, later in zip(curve, curve[1:]):
+            assert later <= earlier * 1.15
+    # the benefit of partitioning grows with the subscription count
+    assert (
+        normalized[SUB_COUNTS[-1]][-1] <= normalized[SUB_COUNTS[0]][-1] + 0.05
+    )

@@ -1,0 +1,48 @@
+"""Fig. 7(h): total control traffic vs. #controllers.
+
+Same setup as Fig. 7(g).  The *total* number of control messages (host
+requests plus inter-controller forwards) grows as the network is split —
+each partition boundary adds forwarding — but covering-based forwarding
+caps the growth, and the relative increase is *smaller* for larger
+subscription workloads: "the comparative increase in control traffic for
+400 subscriptions is less than 200 subscriptions which in turn is less
+than 100 subscriptions".
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from test_fig7g_controller_overhead import collect
+
+CONTROLLER_COUNTS = scaled([1, 2, 4, 6, 8, 10], list(range(1, 11)))
+SUB_COUNTS = scaled([100, 200, 400], [100, 200, 400])
+
+
+def test_fig7h_total_control_traffic(benchmark):
+    results = collect(SUB_COUNTS, CONTROLLER_COUNTS, benchmark)
+
+    rows = []
+    increase: dict[int, list[float]] = {}
+    for sub_count in SUB_COUNTS:
+        base = results[(sub_count, 1)]["total_traffic"]
+        curve = []
+        for controllers in CONTROLLER_COUNTS:
+            total = results[(sub_count, controllers)]["total_traffic"]
+            growth = 100.0 * (total - base) / base
+            curve.append(growth)
+            rows.append((sub_count, controllers, total, growth))
+        increase[sub_count] = curve
+    print_table(
+        "Fig 7(h): total control traffic",
+        ["subscriptions", "controllers", "total messages", "increase (%)"],
+        rows,
+    )
+
+    for sub_count, curve in increase.items():
+        # control traffic grows with partitioning ...
+        assert curve[-1] > 0.0
+        # ... but boundedly: splitting 10 ways costs less than 10x
+        assert curve[-1] < 900.0
+    # covering suppresses proportionally more with larger workloads
+    assert increase[400][-1] < increase[200][-1] < increase[100][-1]

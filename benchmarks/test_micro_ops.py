@@ -1,0 +1,101 @@
+"""Microbenchmarks of the hot operations (proper pytest-benchmark timing).
+
+These are not paper figures; they pin the per-operation costs the
+reproduction's scalability rests on:
+
+* TCAM lookup against a large table (Fig. 7a's substrate);
+* filter -> DZ decomposition (the per-request indexing cost);
+* one subscription through the controller at steady state;
+* one event through the simulated fabric.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.controller.controller import PleromaController
+from repro.core.addressing import dz_to_address
+from repro.core.dz import Dz
+from repro.core.spatial_index import SpatialIndexer
+from repro.core.subscription import Advertisement
+from repro.network.fabric import Network
+from repro.network.flow import Action, FlowEntry, FlowTable
+from repro.network.topology import paper_fat_tree
+from repro.sim.engine import Simulator
+from repro.workloads.scenarios import paper_zipfian
+
+
+def test_tcam_lookup_80k_entries(benchmark):
+    table = FlowTable()
+    for value in range(80_000):
+        table.install(
+            FlowEntry.for_dz(Dz.from_value(value, 17), {Action(1)})
+        )
+    address = dz_to_address(Dz.from_value(42_123, 17))
+    entry = benchmark(table.lookup, address)
+    assert entry is not None
+
+
+def test_filter_decomposition(benchmark):
+    workload = paper_zipfian(dimensions=4, seed=7)
+    indexer = SpatialIndexer(workload.space, max_dz_length=16, max_cells=32)
+    subs = workload.subscriptions(64)
+    counter = itertools.count()
+
+    def decompose():
+        sub = subs[next(counter) % len(subs)]
+        return indexer.filter_to_dzset(sub.filter)
+
+    region = benchmark(decompose)
+    assert len(region) >= 1
+
+
+def test_subscribe_at_steady_state(benchmark):
+    workload = paper_zipfian(dimensions=4, seed=7)
+    sim = Simulator()
+    net = Network(sim, paper_fat_tree())
+    indexer = SpatialIndexer(workload.space, max_dz_length=16, max_cells=32)
+    controller = PleromaController(net, indexer)
+    hosts = net.topology.hosts()
+    controller.advertise(hosts[0], workload.advertisement_covering_all())
+    for i, sub in enumerate(workload.subscriptions(2000)):
+        controller.subscribe(hosts[1 + i % 7], sub)
+    counter = itertools.count()
+    fresh = workload.subscriptions(5000)
+
+    def one_subscription():
+        i = next(counter)
+        return controller.subscribe(hosts[1 + i % 7], fresh[i % len(fresh)])
+
+    state = benchmark(one_subscription)
+    assert state.sub_id in controller.subscriptions
+
+
+def test_event_through_fabric(benchmark):
+    workload = paper_zipfian(dimensions=2, seed=7)
+    sim = Simulator()
+    net = Network(sim, paper_fat_tree())
+    indexer = SpatialIndexer(workload.space, max_dz_length=12)
+    controller = PleromaController(net, indexer)
+    hosts = net.topology.hosts()
+    controller.advertise(hosts[0], Advertisement.of())
+    for i, sub in enumerate(workload.subscriptions(50)):
+        controller.subscribe(hosts[1 + i % 7], sub)
+    from repro.core.addressing import dz_to_address as addr
+    from repro.network.packet import EventPayload, Packet
+
+    events = workload.events(512)
+    counter = itertools.count()
+
+    def publish_and_drain():
+        event = events[next(counter) % len(events)]
+        dz = indexer.event_to_dz(event)
+        net.hosts[hosts[0]].send(
+            Packet(
+                dst_address=addr(dz),
+                payload=EventPayload(event, dz, hosts[0], sim.now),
+            )
+        )
+        sim.run()
+
+    benchmark(publish_and_drain)

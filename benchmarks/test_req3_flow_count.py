@@ -1,0 +1,103 @@
+"""Requirement 3 (Sec. 1): efficiency in the number of installed flows.
+
+"The control algorithm must be efficient in the number of flows installed
+in a switch ... vendors offer only a limited set of flows which is
+currently in the order of 40,000–180,000 flow entries per switch."
+
+This benchmark measures per-switch flow occupancy as subscriptions grow,
+for several dz-length budgets.  Two effects keep tables small: covering
+aggregation (finer flows implied by coarser ones are never installed) and
+the L_dz budget (shorter dz = coarser, more shareable entries).  The
+numbers show occupancy growing sublinearly in the subscription count and
+staying orders of magnitude below TCAM limits at paper-scale workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scaled
+
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import paper_fat_tree
+from repro.workloads.scenarios import paper_zipfian
+
+SUB_COUNTS = scaled([500, 2_000, 5_000], [1_000, 5_000, 10_000, 25_000])
+DZ_BUDGETS = scaled([8, 16], [8, 16, 24])
+DIMENSIONS = 4
+TCAM_LIMIT_LOW = 40_000
+
+
+def run_once(sub_count: int, dz_budget: int) -> dict:
+    workload = paper_zipfian(dimensions=DIMENSIONS, seed=71)
+    middleware = Pleroma(
+        paper_fat_tree(),
+        space=workload.space,
+        max_dz_length=dz_budget,
+        max_cells=32,
+    )
+    hosts = middleware.topology.hosts()
+    middleware.advertise(hosts[0], workload.advertisement_covering_all())
+    for i, sub in enumerate(workload.subscriptions(sub_count)):
+        middleware.subscribe(hosts[1 + i % (len(hosts) - 1)], sub)
+    per_switch = [
+        len(s.table) for s in middleware.network.switches.values()
+    ]
+    return {
+        "max_per_switch": max(per_switch),
+        "total": sum(per_switch),
+        "per_subscription": sum(per_switch) / sub_count,
+    }
+
+
+def test_req3_flow_table_occupancy(benchmark):
+    results: dict[tuple[int, int], dict] = {}
+    for dz_budget in DZ_BUDGETS:
+        for sub_count in SUB_COUNTS:
+            is_largest = (
+                dz_budget == DZ_BUDGETS[-1] and sub_count == SUB_COUNTS[-1]
+            )
+            if is_largest:
+                results[(dz_budget, sub_count)] = benchmark.pedantic(
+                    run_once, args=(sub_count, dz_budget), rounds=1, iterations=1
+                )
+            else:
+                results[(dz_budget, sub_count)] = run_once(
+                    sub_count, dz_budget
+                )
+
+    print_table(
+        "Requirement 3: flow entries vs subscriptions",
+        [
+            "dz budget (bits)",
+            "subscriptions",
+            "max flows/switch",
+            "total flows",
+            "flows per subscription",
+        ],
+        [
+            (
+                dz,
+                n,
+                r["max_per_switch"],
+                r["total"],
+                r["per_subscription"],
+            )
+            for (dz, n), r in sorted(results.items())
+        ],
+    )
+
+    for (dz_budget, sub_count), r in results.items():
+        # far below the cheapest TCAM the paper cites
+        assert r["max_per_switch"] < TCAM_LIMIT_LOW
+    for dz_budget in DZ_BUDGETS:
+        small, large = SUB_COUNTS[0], SUB_COUNTS[-1]
+        # sublinear growth: per-subscription footprint shrinks with scale
+        assert (
+            results[(dz_budget, large)]["per_subscription"]
+            < results[(dz_budget, small)]["per_subscription"]
+        )
+    for sub_count in SUB_COUNTS:
+        # a tighter dz budget (coarser subspaces) costs fewer flows
+        assert (
+            results[(DZ_BUDGETS[0], sub_count)]["total"]
+            <= results[(DZ_BUDGETS[-1], sub_count)]["total"]
+        )

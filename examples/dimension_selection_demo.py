@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Dimension selection: spend the dz bit budget where it filters best.
+
+A 7-attribute event space cannot be represented precisely inside the
+multicast-address bit budget, so PLEROMA's controller analyses recent
+traffic (Sec. 5): it builds the subscriptions-matched-per-event matrix,
+eigendecomposes its covariance, and indexes only the most informative
+attributes.  This demo runs the same workload twice — before and after one
+re-selection round — and prints the false-positive reduction.
+
+Run:  python examples/dimension_selection_demo.py
+"""
+
+from repro import Pleroma, line
+from repro.workloads import zipfian_type
+
+
+def run_phase(middleware, publisher, events) -> float:
+    middleware.metrics.reset()
+    for event in events:
+        publisher.publish(event)
+    middleware.run()
+    return middleware.metrics.false_positive_rate()
+
+
+def main() -> None:
+    # zipfian type 1: event variance confined to 2 of the 7 dimensions
+    workload = zipfian_type(1, seed=3)
+    middleware = Pleroma(line(4), space=workload.space, max_dz_length=7)
+    publisher = middleware.publisher("h1")
+    publisher.advertise(workload.advertisement_covering_all())
+    subscriber = middleware.subscriber("h4")
+    for _ in range(6):
+        subscriber.subscribe(workload.subscription().filter)
+
+    monitor = middleware.enable_dimension_selection(window_size=400)
+    events = workload.events(400)
+
+    fpr_before = run_phase(middleware, publisher, events)
+    selection = middleware.reselect_dimensions(k=2)
+    fpr_after = run_phase(middleware, publisher, events)
+
+    print(f"dz bit budget:               {7} bits over 7 dimensions")
+    print(f"dimension ranking:           {', '.join(selection.ranked)}")
+    print(f"selected for indexing:       {', '.join(selection.selected)}")
+    print(f"selection rounds run:        {monitor.rounds}")
+    print(f"false positives before:      {fpr_before:.1f} %")
+    print(f"false positives after:       {fpr_after:.1f} %")
+    assert fpr_after <= fpr_before, "selection made filtering worse"
+    print("indexing only the informative dimensions cut false positives ✓")
+
+
+if __name__ == "__main__":
+    main()

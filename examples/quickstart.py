@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: publish/subscribe over a simulated SDN fat-tree.
+
+Deploys the PLEROMA middleware on the paper's 10-switch testbed topology,
+wires up one publisher and two subscribers, and shows content-based
+in-network filtering at work: each subscriber receives exactly the events
+inside its filter, forwarded by TCAM flow entries — no brokers involved.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Event, Filter, Pleroma, paper_fat_tree
+
+
+def main() -> None:
+    # 1. Deploy the middleware: one controller over the Fig. 6 fat-tree,
+    #    a 2-attribute content schema (domains default to [0, 1024)).
+    middleware = Pleroma(paper_fat_tree(), dimensions=2)
+
+    # 2. Create clients.  Hosts h1..h8 are the end systems of the testbed.
+    publisher = middleware.publisher("h1")
+    alice = middleware.subscriber(
+        "h4", callback=lambda e, t: print(f"  [alice @ {t * 1e3:.3f} ms] {e}")
+    )
+    bob = middleware.subscriber(
+        "h8", callback=lambda e, t: print(f"  [bob   @ {t * 1e3:.3f} ms] {e}")
+    )
+
+    # 3. A publisher must advertise before publishing (Sec. 2).
+    publisher.advertise(Filter.of(attr0=(0, 1023), attr1=(0, 1023)))
+
+    # 4. Subscribe.  Filters are conjunctions of attribute ranges; the
+    #    controller compiles them into dz-expressions and installs flows.
+    alice.subscribe(Filter.of(attr0=(0, 499)))
+    bob.subscribe(Filter.of(attr0=(500, 1023), attr1=(0, 200)))
+
+    print("publishing three events ...")
+    publisher.publish(Event.of(attr0=120, attr1=900))   # alice only
+    publisher.publish(Event.of(attr0=800, attr1=100))   # bob only
+    publisher.publish(Event.of(attr0=400, attr1=150))   # alice only
+
+    # 5. Drain the simulated network.
+    middleware.run()
+
+    print()
+    print(f"alice matched {len(alice.matched)} events")
+    print(f"bob   matched {len(bob.matched)} events")
+    print(
+        f"flow entries installed across the fabric: "
+        f"{middleware.total_flows_installed()}"
+    )
+    print(
+        f"mean end-to-end delay: "
+        f"{middleware.metrics.mean_delay() * 1e3:.3f} ms"
+    )
+    assert len(alice.matched) == 2
+    assert len(bob.matched) == 1
+
+
+if __name__ == "__main__":
+    main()

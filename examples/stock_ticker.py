@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Financial ticker: latency-sensitive pub/sub with dynamic thresholds.
+
+The paper motivates PLEROMA with financial trading (Sec. 1): thresholds
+for receiving quotes change "in the time-scale ranging from just a few
+seconds to several hours for a single subscription".  This example streams
+stock quotes through the fat-tree fabric while trader clients repeatedly
+*re-subscribe* with updated price thresholds, and reports both delivery
+latency and the controller's reconfiguration cost per threshold update.
+
+Run:  python examples/stock_ticker.py
+"""
+
+import random
+
+from repro import (
+    Attribute,
+    Event,
+    EventSpace,
+    Filter,
+    Pleroma,
+    paper_fat_tree,
+)
+
+#: Schema: a numeric symbol id, a price in cents, and a trade volume.
+SPACE = EventSpace(
+    (
+        Attribute("symbol", 0, 64, grain=1),
+        Attribute("price", 0, 100_000),
+        Attribute("volume", 0, 1_000_000),
+    )
+)
+
+QUOTES = 400
+THRESHOLD_UPDATES = 25
+RATE_EPS = 2_000.0
+
+
+def main() -> None:
+    rng = random.Random(42)
+    middleware = Pleroma(paper_fat_tree(), space=SPACE, max_dz_length=18)
+    exchange = middleware.publisher("h1")
+    exchange.advertise(Filter.of())  # the exchange may quote anything
+
+    # three traders watching different symbols with price thresholds
+    traders = {
+        "h4": {"symbol": 7, "limit": 45_000},
+        "h6": {"symbol": 21, "limit": 60_000},
+        "h8": {"symbol": 7, "limit": 52_000},
+    }
+    subscriptions: dict[str, int] = {}
+    clients = {}
+    for host, config in traders.items():
+        client = middleware.subscriber(host)
+        clients[host] = client
+        subscriptions[host] = client.subscribe(
+            Filter.of(
+                symbol=(config["symbol"], config["symbol"]),
+                price=(0, config["limit"]),
+            )
+        )
+
+    # stream quotes at a constant rate while thresholds churn
+    interval = 1.0 / RATE_EPS
+    for i in range(QUOTES):
+        symbol = rng.choice([7, 21, 33])
+        quote = Event.of(
+            symbol=symbol,
+            price=rng.uniform(30_000, 80_000),
+            volume=rng.uniform(100, 10_000),
+        )
+        middleware.sim.schedule(i * interval, exchange.publish, quote)
+    middleware.run()
+
+    # dynamic threshold updates: unsubscribe + subscribe with a new limit
+    controller = middleware.controllers[0]
+    mark = len(controller.request_log)
+    for _ in range(THRESHOLD_UPDATES):
+        host = rng.choice(list(traders))
+        config = traders[host]
+        config["limit"] = int(rng.uniform(35_000, 70_000))
+        clients[host].unsubscribe(subscriptions[host])
+        subscriptions[host] = clients[host].subscribe(
+            Filter.of(
+                symbol=(config["symbol"], config["symbol"]),
+                price=(0, config["limit"]),
+            )
+        )
+    reconfig = [
+        s.reconfiguration_delay_s for s in controller.request_log[mark:]
+    ]
+
+    # a final burst under the latest thresholds
+    middleware.metrics.reset()
+    for client in clients.values():
+        client.received.clear()
+        client.matched.clear()
+    for i in range(QUOTES):
+        quote = Event.of(
+            symbol=rng.choice([7, 21, 33]),
+            price=rng.uniform(30_000, 80_000),
+            volume=rng.uniform(100, 10_000),
+        )
+        middleware.sim.schedule(i * interval, exchange.publish, quote)
+    middleware.run()
+
+    print(f"quotes published (second burst):   {middleware.metrics.published}")
+    print(f"quotes delivered:                  {middleware.metrics.delivered}")
+    print(
+        f"mean delivery latency:             "
+        f"{middleware.metrics.mean_delay() * 1e3:.3f} ms"
+    )
+    print(
+        f"false positive rate:               "
+        f"{middleware.metrics.false_positive_rate():.1f} %"
+    )
+    print(
+        f"threshold updates performed:       {THRESHOLD_UPDATES} "
+        f"(unsubscribe + subscribe each)"
+    )
+    print(
+        f"mean reconfiguration delay:        "
+        f"{sum(reconfig) / len(reconfig) * 1e3:.3f} ms"
+    )
+    print(
+        f"sustainable threshold updates/sec: "
+        f"{len(reconfig) / sum(reconfig):.0f}"
+    )
+    for host, client in clients.items():
+        config = traders[host]
+        assert all(
+            e.value("price") <= config["limit"] for e in client.matched
+        ), f"{host} received a quote above its threshold"
+    print("all matched quotes respect the traders' latest thresholds ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""PLEROMA: a SDN-based high performance publish/subscribe middleware.
+
+A full reproduction of Tariq, Koldehofe, Bhowmik & Rothermel, *PLEROMA: A
+SDN-based High Performance Publish/Subscribe Middleware*, Middleware 2014.
+
+The public API is re-exported here; see ``README.md`` for a quickstart and
+``DESIGN.md`` for the system inventory.  Typical usage::
+
+    from repro import Pleroma, Filter, Event, paper_fat_tree
+
+    middleware = Pleroma(paper_fat_tree(), dimensions=2)
+    publisher = middleware.publisher("h1")
+    subscriber = middleware.subscriber("h8")
+    publisher.advertise(Filter.of(attr0=(0, 511)))
+    subscriber.subscribe(Filter.of(attr0=(0, 255)))
+    publisher.publish(Event.of(attr0=100, attr1=7))
+    middleware.run()
+    assert subscriber.matched
+"""
+
+from repro.analysis import (
+    FprReport,
+    assign_round_robin,
+    evaluate_fpr,
+)
+from repro.core import (
+    Advertisement,
+    Attribute,
+    Dz,
+    DzSet,
+    Event,
+    EventSpace,
+    Filter,
+    RangePredicate,
+    SpatialIndexer,
+    Subscription,
+)
+from repro.controller import PleromaController
+from repro.interop import Federation
+from repro.middleware import MetricsCollector, Pleroma, Publisher, Subscriber
+from repro.network import (
+    Network,
+    NetworkParams,
+    Topology,
+    line,
+    mininet_fat_tree,
+    paper_fat_tree,
+    ring,
+    star,
+)
+from repro.sim import Simulator
+from repro.workloads import (
+    UniformWorkload,
+    ZipfianWorkload,
+    paper_uniform,
+    paper_zipfian,
+    zipfian_type,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core data model
+    "Advertisement",
+    "Attribute",
+    "Dz",
+    "DzSet",
+    "Event",
+    "EventSpace",
+    "Filter",
+    "RangePredicate",
+    "SpatialIndexer",
+    "Subscription",
+    # system components
+    "PleromaController",
+    "Federation",
+    "Pleroma",
+    "Publisher",
+    "Subscriber",
+    "MetricsCollector",
+    "Network",
+    "NetworkParams",
+    "Simulator",
+    # topologies
+    "Topology",
+    "paper_fat_tree",
+    "mininet_fat_tree",
+    "ring",
+    "line",
+    "star",
+    # workloads
+    "UniformWorkload",
+    "ZipfianWorkload",
+    "paper_uniform",
+    "paper_zipfian",
+    "zipfian_type",
+    # analysis
+    "FprReport",
+    "assign_round_robin",
+    "evaluate_fpr",
+]

@@ -1,0 +1,15 @@
+"""Offline analysis helpers shared by benchmarks and the CLI."""
+
+from repro.analysis.fpr import (
+    FprReport,
+    HostAssignment,
+    assign_round_robin,
+    evaluate_fpr,
+)
+
+__all__ = [
+    "FprReport",
+    "HostAssignment",
+    "assign_round_robin",
+    "evaluate_fpr",
+]

@@ -1,0 +1,13 @@
+"""Comparison baselines: broker-tree overlay and flooding."""
+
+from repro.baselines.broker import (
+    BrokerDelivery,
+    FloodingOverlay,
+    SingleTreeBrokerOverlay,
+)
+
+__all__ = [
+    "BrokerDelivery",
+    "FloodingOverlay",
+    "SingleTreeBrokerOverlay",
+]

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Describe one of the built-in topologies (switches, hosts, links,
+    diameter).
+``demo``
+    Run a compact publish/subscribe demonstration on the paper's testbed
+    fat-tree and print the delivery report.
+``soak``
+    Random subscribe/unsubscribe/advertise/unadvertise churn with invariant
+    checking after every step — a quick self-test of an installation.
+``fpr``
+    Evaluate one false-positive-rate data point (the Fig. 7d measurement)
+    for a chosen model, subscription count and dz length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro.core.events import Event
+from repro.core.spatial_index import SpatialIndexer
+from repro.core.subscription import Advertisement, Filter
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import (
+    Topology,
+    line,
+    mininet_fat_tree,
+    paper_fat_tree,
+    ring,
+)
+from repro.workloads.scenarios import paper_uniform, paper_zipfian
+
+__all__ = ["main", "build_parser"]
+
+_TOPOLOGIES = {
+    "paper-fat-tree": paper_fat_tree,
+    "mininet-fat-tree": mininet_fat_tree,
+    "ring": ring,
+    "line": lambda: line(4),
+}
+
+
+def _topology(name: str) -> Topology:
+    return _TOPOLOGIES[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PLEROMA SDN publish/subscribe middleware (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a built-in topology")
+    info.add_argument(
+        "--topology",
+        choices=sorted(_TOPOLOGIES),
+        default="paper-fat-tree",
+    )
+
+    demo = sub.add_parser("demo", help="run a small pub/sub demonstration")
+    demo.add_argument("--events", type=int, default=50)
+    demo.add_argument("--seed", type=int, default=0)
+
+    soak = sub.add_parser("soak", help="randomised churn self-test")
+    soak.add_argument("--steps", type=int, default=100)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--topology",
+        choices=sorted(_TOPOLOGIES),
+        default="mininet-fat-tree",
+    )
+
+    render = sub.add_parser(
+        "render", help="draw a 2-D filter's dz decomposition as ASCII art"
+    )
+    render.add_argument("--a", nargs=2, type=float, default=[200, 600],
+                        metavar=("LOW", "HIGH"))
+    render.add_argument("--b", nargs=2, type=float, default=[300, 700],
+                        metavar=("LOW", "HIGH"))
+    render.add_argument("--dz-length", type=int, default=10)
+    render.add_argument("--max-cells", type=int, default=32)
+    render.add_argument("--width", type=int, default=48)
+    render.add_argument("--height", type=int, default=24)
+
+    fpr = sub.add_parser(
+        "fpr", help="measure one false-positive-rate data point"
+    )
+    fpr.add_argument("--model", choices=["uniform", "zipfian"], default="zipfian")
+    fpr.add_argument("--subscriptions", type=int, default=100)
+    fpr.add_argument("--dz-length", type=int, default=15)
+    fpr.add_argument("--dimensions", type=int, default=3)
+    fpr.add_argument("--events", type=int, default=1000)
+    fpr.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_info(args: argparse.Namespace) -> int:
+    topo = _topology(args.topology)
+    switch_links = sum(
+        1
+        for spec in topo.links()
+        if topo.is_switch(spec.a) and topo.is_switch(spec.b)
+    )
+    a, b = topo.diameter_path()
+    diameter = len(topo.shortest_path(a, b)) - 1
+    print(f"topology:      {topo.name}")
+    print(f"switches:      {len(topo.switches())}")
+    print(f"hosts:         {len(topo.hosts())}")
+    print(f"switch links:  {switch_links}")
+    print(f"host links:    {len(topo.hosts())}")
+    print(f"diameter:      {diameter} hops ({a} .. {b})")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    middleware = Pleroma(paper_fat_tree(), dimensions=2, max_dz_length=12)
+    publisher = middleware.publisher("h1")
+    publisher.advertise(Filter.of())
+    subscribers = {}
+    for host, band in (("h4", (0, 340)), ("h6", (341, 680)), ("h8", (681, 1023))):
+        client = middleware.subscriber(host)
+        client.subscribe(Filter.of(attr0=band))
+        subscribers[host] = client
+    for i in range(args.events):
+        middleware.sim.schedule(
+            i * 1e-3,
+            middleware.publish,
+            "h1",
+            Event.of(attr0=rng.uniform(0, 1023), attr1=rng.uniform(0, 1023)),
+        )
+    middleware.run()
+    print(f"events published:   {middleware.metrics.published}")
+    for host, client in subscribers.items():
+        print(f"  {host}: matched {len(client.matched)}")
+    print(f"mean delay:         {middleware.metrics.mean_delay() * 1e3:.3f} ms")
+    print(
+        f"false positives:    "
+        f"{middleware.metrics.false_positive_rate():.1f} %"
+    )
+    print(f"flow entries:       {middleware.total_flows_installed()}")
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    workload = paper_uniform(dimensions=2, seed=args.seed)
+    middleware = Pleroma(
+        _topology(args.topology), space=workload.space, max_dz_length=12
+    )
+    hosts = middleware.topology.hosts()
+    live_subs: list[tuple[str, int]] = []
+    live_advs: list[tuple[str, int]] = []
+    for step in range(args.steps):
+        roll = rng.random()
+        try:
+            if roll < 0.35 or not live_advs:
+                host = rng.choice(hosts)
+                state = middleware.advertise(
+                    host, Advertisement(filter=workload.subscription().filter)
+                )
+                live_advs.append((host, state.adv_id))
+            elif roll < 0.70:
+                host = rng.choice(hosts)
+                state = middleware.subscribe(host, workload.subscription())
+                live_subs.append((host, state.sub_id))
+            elif roll < 0.85 and live_subs:
+                host, sub_id = live_subs.pop(rng.randrange(len(live_subs)))
+                middleware.unsubscribe(host, sub_id)
+            elif live_advs:
+                host, adv_id = live_advs.pop(rng.randrange(len(live_advs)))
+                middleware.unadvertise(host, adv_id)
+            middleware.check_invariants()
+        except Exception as exc:  # pragma: no cover - failure reporting
+            print(f"FAILED at step {step}: {exc}", file=sys.stderr)
+            return 1
+    for host, sub_id in live_subs:
+        middleware.unsubscribe(host, sub_id)
+    for host, adv_id in live_advs:
+        middleware.unadvertise(host, adv_id)
+    leftover = middleware.total_flows_installed()
+    if leftover:
+        print(f"FAILED: {leftover} flows left after teardown", file=sys.stderr)
+        return 1
+    print(
+        f"soak OK: {args.steps} operations, invariants held, clean teardown"
+    )
+    return 0
+
+
+def _cmd_fpr(args: argparse.Namespace) -> int:
+    from repro.analysis.fpr import assign_round_robin, evaluate_fpr
+
+    make = paper_uniform if args.model == "uniform" else paper_zipfian
+    workload = make(
+        dimensions=args.dimensions, seed=args.seed, width_fraction=0.25
+    )
+    indexer = SpatialIndexer(
+        workload.space, max_dz_length=args.dz_length, max_cells=256
+    )
+    assignment = assign_round_robin(
+        workload.subscriptions(args.subscriptions), 8, indexer
+    )
+    report = evaluate_fpr(assignment, workload.events(args.events), indexer)
+    print(
+        f"model={args.model} subs={args.subscriptions} "
+        f"dz={args.dz_length} dims={args.dimensions}: "
+        f"FPR = {report.fpr_percent:.2f}% "
+        f"({report.unwanted}/{report.delivered} deliveries unwanted)"
+    )
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.core.events import EventSpace
+    from repro.core.render import render_dz_tree, render_filter
+
+    space = EventSpace.paper_schema(2)
+    indexer = SpatialIndexer(
+        space, max_dz_length=args.dz_length, max_cells=args.max_cells
+    )
+    filt = Filter.of(attr0=tuple(args.a), attr1=tuple(args.b))
+    region = indexer.filter_to_dzset(filt)
+    print(
+        f"filter attr0={tuple(args.a)} attr1={tuple(args.b)} -> "
+        f"{len(region)} dz cells"
+    )
+    print("legend: '#' filter, '+' approximation fringe, '.' outside\n")
+    print(render_filter(indexer, filt, width=args.width, height=args.height))
+    print("\ndz trie:")
+    print(render_dz_tree(region))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "demo": _cmd_demo,
+    "soak": _cmd_soak,
+    "fpr": _cmd_fpr,
+    "render": _cmd_render,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

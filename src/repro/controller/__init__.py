@@ -1,0 +1,75 @@
+"""The PLEROMA control plane: trees, flow maintenance, the controller."""
+
+from repro.controller.controller import (
+    DEFAULT_FLOW_MOD_LATENCY_S,
+    AdvertisementState,
+    PleromaController,
+    RequestStats,
+    summarize_requests,
+    SubscriptionState,
+)
+from repro.controller.flow_installer import flow_addition
+from repro.controller.reconciler import (
+    FlowDiff,
+    apply_diff,
+    desired_flows,
+    diff_table,
+)
+from repro.controller.requests import (
+    AdvertiseRequest,
+    SubscribeRequest,
+    UnadvertiseRequest,
+    UnsubscribeRequest,
+)
+from repro.controller.applier import (
+    ChannelApplier,
+    DirectApplier,
+    TableApplier,
+)
+from repro.controller.dztrie import DzTrie
+from repro.controller.overload import OverloadEvent, OverloadManager
+from repro.controller.state import Endpoint, FlowLedger, PathKey
+from repro.controller.tree_builders import (
+    TreeBuilder,
+    builder_by_name,
+    minimum_spanning_tree,
+    random_spanning_tree,
+    shortest_path_tree,
+)
+from repro.controller.tree import SpanningTree, TreeMember
+from repro.controller.tree_manager import TreeManager
+
+__all__ = [
+    "PleromaController",
+    "RequestStats",
+    "summarize_requests",
+    "AdvertisementState",
+    "SubscriptionState",
+    "DEFAULT_FLOW_MOD_LATENCY_S",
+    "flow_addition",
+    "desired_flows",
+    "diff_table",
+    "apply_diff",
+    "FlowDiff",
+    "Endpoint",
+    "FlowLedger",
+    "PathKey",
+    "SpanningTree",
+    "TreeMember",
+    "TreeManager",
+    "TreeBuilder",
+    "builder_by_name",
+    "shortest_path_tree",
+    "minimum_spanning_tree",
+    "random_spanning_tree",
+    "DzTrie",
+    "TableApplier",
+    "DirectApplier",
+    "ChannelApplier",
+    "OverloadManager",
+    "OverloadEvent",
+    "AdvertiseRequest",
+    "SubscribeRequest",
+    "UnadvertiseRequest",
+    "UnsubscribeRequest",
+]

@@ -1,0 +1,44 @@
+"""Client control requests: what hosts send to ``IP_pub/sub``.
+
+Publishers and subscribers are unaware of the SDN control network (Sec. 2);
+they address these request objects to the reserved multicast address
+``IP_pub/sub``, which no switch installs flows for, so the access switch
+diverts them to the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.subscription import Advertisement, Subscription
+
+__all__ = [
+    "AdvertiseRequest",
+    "SubscribeRequest",
+    "UnadvertiseRequest",
+    "UnsubscribeRequest",
+]
+
+
+@dataclass(frozen=True)
+class AdvertiseRequest:
+    host: str
+    advertisement: Advertisement
+
+
+@dataclass(frozen=True)
+class SubscribeRequest:
+    host: str
+    subscription: Subscription
+
+
+@dataclass(frozen=True)
+class UnadvertiseRequest:
+    host: str
+    adv_id: int
+
+
+@dataclass(frozen=True)
+class UnsubscribeRequest:
+    host: str
+    sub_id: int

@@ -1,0 +1,158 @@
+"""Controller-side state: endpoints and the flow-contribution ledger.
+
+**Endpoints** unify the two kinds of producers/consumers a controller sees:
+real end hosts attached to a switch port, and *virtual hosts* — border
+switch ports standing in for everything reachable in a neighbouring
+partition (Sec. 4.2: "the external request is perceived by a controller as
+arriving from the virtual host connected to its border switch").  A real
+endpoint has a host address, so terminal flows rewrite the destination; a
+virtual endpoint has none — packets leave through the border port still
+carrying their dz multicast address, to be matched by the next partition.
+
+**The ledger** records, per switch, which ``(dz, action)`` pairs are needed
+and *why* (which publisher/subscriber/tree path contributed them).  It is
+the bookkeeping that makes the paper's unsubscription behaviour (Sec. 3.3.3
+— "flows are either deleted or downgraded depending upon other subscribers
+reachable via a particular switch") a pure function of recorded state: drop
+the departing path's contributions and recompute each affected switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.controller.dztrie import DzTrie
+from repro.core.dz import Dz
+from repro.exceptions import ControllerError
+from repro.network.flow import Action
+
+__all__ = ["Endpoint", "PathKey", "FlowLedger"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A producer/consumer attachment point as the controller sees it.
+
+    ``address`` is the host's unicast address for real hosts and ``None``
+    for virtual hosts (border gateways).
+    """
+
+    name: str
+    switch: str
+    port: int
+    address: Optional[int] = None
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.address is None
+
+    def terminal_action(self) -> Action:
+        """The action installed on this endpoint's attachment switch."""
+        return Action(self.port, set_dest=self.address)
+
+
+@dataclass(frozen=True)
+class PathKey:
+    """Identity of one installed path: (tree, publisher, subscriber, dz)."""
+
+    tree_id: int
+    adv_id: int
+    sub_id: int
+    dz: Dz
+
+
+class FlowLedger:
+    """Per-switch multiset of flow contributions with provenance.
+
+    A *contribution* is a ``(dz, action)`` pair a path needs on a switch.
+    The desired flow table of a switch is a pure function of its
+    contributions (see :mod:`repro.controller.reconciler`).
+    """
+
+    def __init__(self) -> None:
+        # switch -> dz-trie of reference-counted (dz, action) contributions
+        self._tries: dict[str, DzTrie] = {}
+        # reverse index: key -> list of (switch, dz, action)
+        self._by_key: dict[PathKey, list[tuple[str, Dz, Action]]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, switch: str, dz: Dz, action: Action, key: PathKey) -> bool:
+        """Record that ``key``'s path needs ``(dz, action)`` on ``switch``.
+
+        Returns True if the pair is new on that switch (the flow table may
+        need an update); False if some other path already holds it.
+        """
+        trie = self._tries.setdefault(switch, DzTrie())
+        changed = trie.add(dz, action)
+        self._by_key.setdefault(key, []).append((switch, dz, action))
+        return changed
+
+    def remove_key(self, key: PathKey) -> dict[str, set[Dz]]:
+        """Drop every contribution of one path.
+
+        Returns, per switch, the dz whose aggregated action set changed
+        (pairs that disappeared because their last holder left).
+        """
+        entries = self._by_key.pop(key, [])
+        changed: dict[str, set[Dz]] = {}
+        for switch, dz, action in entries:
+            trie = self._tries.get(switch)
+            if trie is not None and trie.remove(dz, action):
+                changed.setdefault(switch, set()).add(dz)
+        return changed
+
+    def remove_keys_where(
+        self,
+        tree_id: int | None = None,
+        adv_id: int | None = None,
+        sub_id: int | None = None,
+    ) -> dict[str, set[Dz]]:
+        """Drop all paths matching the given identity components."""
+        if tree_id is None and adv_id is None and sub_id is None:
+            raise ControllerError("refusing to drop the entire ledger")
+        doomed = [
+            key
+            for key in self._by_key
+            if (tree_id is None or key.tree_id == tree_id)
+            and (adv_id is None or key.adv_id == adv_id)
+            and (sub_id is None or key.sub_id == sub_id)
+        ]
+        changed: dict[str, set[Dz]] = {}
+        for key in doomed:
+            for switch, dzs in self.remove_key(key).items():
+                changed.setdefault(switch, set()).update(dzs)
+        return changed
+
+    # ------------------------------------------------------------------
+    def trie(self, switch: str) -> DzTrie:
+        """The switch's contribution trie (empty if nothing installed)."""
+        return self._tries.setdefault(switch, DzTrie())
+
+    def contributions(self, switch: str) -> Mapping[Dz, frozenset[Action]]:
+        """Aggregated contributions of one switch: dz -> action set."""
+        trie = self._tries.get(switch)
+        return trie.contributions() if trie is not None else {}
+
+    def switches(self) -> Iterable[str]:
+        return [name for name, trie in self._tries.items() if len(trie)]
+
+    def keys_for(
+        self,
+        tree_id: int | None = None,
+        adv_id: int | None = None,
+        sub_id: int | None = None,
+    ) -> list[PathKey]:
+        return [
+            key
+            for key in self._by_key
+            if (tree_id is None or key.tree_id == tree_id)
+            and (adv_id is None or key.adv_id == adv_id)
+            and (sub_id is None or key.sub_id == sub_id)
+        ]
+
+    def has_path(self, key: PathKey) -> bool:
+        return key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._by_key)

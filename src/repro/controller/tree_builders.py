@@ -1,0 +1,113 @@
+"""Pluggable spanning-tree construction strategies.
+
+Algorithm 1's ``createTree`` builds "a shortest path tree rooted at the
+publisher"; the paper notes (footnote 2) that "other tree creation
+algorithms such as minimum spanning tree etc., can also be employed
+without any modification to the proposed approach".  This module provides
+that pluggability: a *tree builder* maps ``(topology, partition, root)`` to
+a parent map, and the :class:`~repro.controller.tree_manager.TreeManager`
+accepts any of them.
+
+Builders:
+
+* :func:`shortest_path_tree` — the paper's default: minimal root-to-switch
+  hop counts, with root-dependent tie-breaking for load spreading;
+* :func:`minimum_spanning_tree` — a deterministic MST (uniform edge
+  weights broken by a stable hash), oriented away from the root;
+* :func:`random_spanning_tree` — a seeded random spanning tree, the
+  degenerate baseline for the tree-builder ablation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable
+
+import networkx as nx
+
+from repro.exceptions import ControllerError
+from repro.network.topology import Topology
+
+__all__ = [
+    "TreeBuilder",
+    "shortest_path_tree",
+    "minimum_spanning_tree",
+    "random_spanning_tree",
+    "builder_by_name",
+]
+
+TreeBuilder = Callable[[Topology, Iterable[str], str], dict[str, str]]
+
+
+def shortest_path_tree(
+    topology: Topology, partition: Iterable[str], root: str
+) -> dict[str, str]:
+    """The default builder: delegate to the topology's SPT computation."""
+    return topology.shortest_path_tree(root, partition)
+
+
+def _orient_from_root(tree: nx.Graph, root: str) -> dict[str, str]:
+    """Turn an undirected spanning tree into a parent map."""
+    parents: dict[str, str] = {}
+    for child, parent in nx.bfs_predecessors(tree, root):
+        parents[child] = parent
+    return parents
+
+
+def _edge_weight(a: str, b: str, salt: str = "") -> float:
+    """Deterministic pseudo-random weight for an undirected edge."""
+    lo, hi = sorted((a, b))
+    digest = hashlib.md5(f"{salt}|{lo}|{hi}".encode()).hexdigest()
+    return int(digest[:12], 16) / float(1 << 48)
+
+
+def minimum_spanning_tree(
+    topology: Topology, partition: Iterable[str], root: str
+) -> dict[str, str]:
+    """A deterministic minimum spanning tree oriented away from ``root``.
+
+    With unit link costs any spanning tree is "minimum"; stable hashed
+    weights make the choice deterministic and root-independent (the same
+    physical tree is reused for every root, mimicking a shared-tree
+    deployment)."""
+    sg = topology.switch_graph(partition)
+    if root not in sg:
+        raise ControllerError(f"root {root!r} not in partition")
+    weighted = nx.Graph()
+    weighted.add_nodes_from(sg.nodes)
+    for a, b in sg.edges:
+        weighted.add_edge(a, b, weight=_edge_weight(a, b))
+    mst = nx.minimum_spanning_tree(weighted, weight="weight")
+    return _orient_from_root(mst, root)
+
+
+def random_spanning_tree(
+    topology: Topology, partition: Iterable[str], root: str
+) -> dict[str, str]:
+    """A seeded random spanning tree (random weights + MST), per root."""
+    sg = topology.switch_graph(partition)
+    if root not in sg:
+        raise ControllerError(f"root {root!r} not in partition")
+    weighted = nx.Graph()
+    weighted.add_nodes_from(sg.nodes)
+    for a, b in sg.edges:
+        weighted.add_edge(a, b, weight=_edge_weight(a, b, salt=root))
+    mst = nx.minimum_spanning_tree(weighted, weight="weight")
+    return _orient_from_root(mst, root)
+
+
+_BUILDERS: dict[str, TreeBuilder] = {
+    "spt": shortest_path_tree,
+    "mst": minimum_spanning_tree,
+    "random": random_spanning_tree,
+}
+
+
+def builder_by_name(name: str) -> TreeBuilder:
+    """Look a builder up by its short name (``spt``/``mst``/``random``)."""
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise ControllerError(
+            f"unknown tree builder {name!r}; pick one of {sorted(_BUILDERS)}"
+        ) from None

@@ -1,0 +1,81 @@
+"""Core data model: dz algebra, spatial indexing, addressing, events."""
+
+from repro.core.addressing import (
+    MAX_DZ_BITS,
+    MULTICAST_BASE,
+    PUBSUB_CONTROL_ADDRESS,
+    MulticastPrefix,
+    address_to_dz,
+    dz_to_address,
+    dz_to_prefix,
+    prefix_to_dz,
+)
+from repro.core.codec import (
+    decode_advertisement,
+    decode_dzset,
+    decode_event,
+    decode_filter,
+    decode_space,
+    decode_subscription,
+    encode_advertisement,
+    encode_dzset,
+    encode_event,
+    encode_filter,
+    encode_space,
+    encode_subscription,
+    from_bytes,
+    to_bytes,
+)
+from repro.core.dz import ROOT, Dz
+from repro.core.render import render_dz_tree, render_filter, render_region
+from repro.core.dzset import EMPTY, OMEGA, DzSet
+from repro.core.events import Attribute, Event, EventSpace
+from repro.core.spatial_index import DEFAULT_MAX_DZ_LENGTH, SpatialIndexer
+from repro.core.subscription import (
+    Advertisement,
+    Filter,
+    RangePredicate,
+    Subscription,
+)
+
+__all__ = [
+    "Dz",
+    "ROOT",
+    "DzSet",
+    "EMPTY",
+    "OMEGA",
+    "Attribute",
+    "Event",
+    "EventSpace",
+    "SpatialIndexer",
+    "DEFAULT_MAX_DZ_LENGTH",
+    "Advertisement",
+    "Filter",
+    "RangePredicate",
+    "Subscription",
+    "MulticastPrefix",
+    "dz_to_prefix",
+    "prefix_to_dz",
+    "dz_to_address",
+    "address_to_dz",
+    "MULTICAST_BASE",
+    "MAX_DZ_BITS",
+    "PUBSUB_CONTROL_ADDRESS",
+    "render_region",
+    "render_filter",
+    "render_dz_tree",
+    "encode_event",
+    "decode_event",
+    "encode_filter",
+    "decode_filter",
+    "encode_subscription",
+    "decode_subscription",
+    "encode_advertisement",
+    "decode_advertisement",
+    "encode_dzset",
+    "decode_dzset",
+    "encode_space",
+    "decode_space",
+    "to_bytes",
+    "from_bytes",
+]

@@ -1,0 +1,182 @@
+"""DZ sets: canonical collections of dz-expressions.
+
+Advertisements, subscriptions and spanning trees in PLEROMA are all described
+by a *set* of dz-expressions, written ``DZ`` in the paper.  This module gives
+that set a canonical form and the containment/overlap algebra the controller
+relies on (Algorithm 1 computes ``DZ(t) ∩ dz_i``, uncovered remainders, and
+covering checks between DZ sets).
+
+Canonical form invariants:
+
+* no member covers another member (redundant members removed);
+* no two members are complete siblings (``...0`` and ``...1`` merge into
+  their parent, applied to a fixed point).
+
+Canonicalisation makes equality semantic: two DZ sets describing the same
+region compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.dz import Dz, ROOT
+
+__all__ = ["DzSet", "EMPTY", "OMEGA"]
+
+
+def _canonicalize(members: Iterable[Dz]) -> frozenset[Dz]:
+    """Reduce ``members`` to canonical form (cover-free, sibling-merged)."""
+    # Drop members covered by another member.  Sorting by length means any
+    # cover of m precedes m, so a single pass with a prefix check suffices.
+    pending = sorted(set(members), key=lambda d: (len(d), d.bits))
+    kept: list[Dz] = []
+    for dz in pending:
+        if not any(k.covers(dz) for k in kept):
+            kept.append(dz)
+    # Merge complete sibling pairs to a fixed point.  Each merge may enable
+    # another one level up, hence the loop.
+    current = set(kept)
+    changed = True
+    while changed:
+        changed = False
+        for dz in sorted(current, key=len, reverse=True):
+            if dz not in current or dz.is_root:
+                continue
+            sib = dz.sibling()
+            if sib in current:
+                current.discard(dz)
+                current.discard(sib)
+                current.add(dz.parent())
+                changed = True
+    return frozenset(current)
+
+
+@dataclass(frozen=True)
+class DzSet:
+    """An immutable, canonical set of disjoint dz-expressions."""
+
+    members: frozenset[Dz] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", _canonicalize(self.members))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *dz: Dz | str) -> "DzSet":
+        """Build a DzSet from dz-expressions or plain bit strings."""
+        return cls(frozenset(d if isinstance(d, Dz) else Dz(d) for d in dz))
+
+    @classmethod
+    def from_iterable(cls, dzs: Iterable[Dz | str]) -> "DzSet":
+        return cls.of(*dzs)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Dz]:
+        return iter(sorted(self.members, key=lambda d: (len(d), d.bits)))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __bool__(self) -> bool:
+        return bool(self.members)
+
+    def __contains__(self, dz: Dz) -> bool:
+        return dz in self.members
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(d) for d in self) + "}"
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.members
+
+    # ------------------------------------------------------------------
+    # region algebra
+    # ------------------------------------------------------------------
+    def covers_dz(self, dz: Dz) -> bool:
+        """True iff the region fully contains the subspace ``dz``.
+
+        Because members are canonical (sibling-merged), full containment of
+        ``dz`` is witnessed by a single member covering it.
+        """
+        return any(m.covers(dz) for m in self.members)
+
+    def overlaps_dz(self, dz: Dz) -> bool:
+        """True iff the region intersects the subspace ``dz``."""
+        return any(m.overlaps(dz) for m in self.members)
+
+    def covers(self, other: "DzSet") -> bool:
+        """True iff every subspace of ``other`` lies inside this region."""
+        return all(self.covers_dz(m) for m in other.members)
+
+    def overlaps(self, other: "DzSet") -> bool:
+        """True iff the two regions intersect anywhere."""
+        return any(self.overlaps_dz(m) for m in other.members)
+
+    def intersect_dz(self, dz: Dz) -> "DzSet":
+        """The part of this region inside the subspace ``dz``."""
+        parts = [m.intersect(dz) for m in self.members]
+        return DzSet(frozenset(p for p in parts if p is not None))
+
+    def intersect(self, other: "DzSet") -> "DzSet":
+        """Region intersection (the paper's ``DZ_i ∩ DZ_j``)."""
+        parts: set[Dz] = set()
+        for m in self.members:
+            for o in other.members:
+                hit = m.intersect(o)
+                if hit is not None:
+                    parts.add(hit)
+        return DzSet(frozenset(parts))
+
+    def union(self, other: "DzSet") -> "DzSet":
+        return DzSet(self.members | other.members)
+
+    def subtract_dz(self, dz: Dz) -> "DzSet":
+        """The part of this region outside the subspace ``dz``."""
+        parts: list[Dz] = []
+        for m in self.members:
+            parts.extend(m.subtract(dz))
+        return DzSet(frozenset(parts))
+
+    def subtract(self, other: "DzSet") -> "DzSet":
+        """Region difference (the paper's uncovered remainder, Alg. 1 l.10)."""
+        result = self
+        for o in other.members:
+            result = result.subtract_dz(o)
+            if result.is_empty:
+                break
+        return result
+
+    def truncate(self, max_len: int) -> "DzSet":
+        """Coarsen every member to at most ``max_len`` bits (L_dz limit)."""
+        return DzSet(frozenset(m.truncate(max_len) for m in self.members))
+
+    def coarsen_to_common_prefix(self) -> Dz:
+        """The finest single dz covering the whole region.
+
+        Used by tree merging (Sec. 3.2): e.g. ``{0000, 0010}`` and
+        ``{0001, 0011}`` merge into the single coarser subspace ``00``.
+        """
+        if self.is_empty:
+            return ROOT
+        members = list(self.members)
+        prefix = members[0]
+        for m in members[1:]:
+            prefix = prefix.common_prefix(m)
+        return prefix
+
+    def total_measure(self) -> float:
+        """The fraction of the event space covered (members are disjoint)."""
+        return sum(2.0 ** -len(m) for m in self.members)
+
+
+#: The empty region.
+EMPTY = DzSet(frozenset())
+#: The whole event space.
+OMEGA = DzSet(frozenset({ROOT}))

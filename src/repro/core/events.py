@@ -1,0 +1,173 @@
+"""Event-space schema, attributes, and events.
+
+PLEROMA follows the content-based subscription model (Sec. 2): an event is a
+set of attribute/value pairs, i.e. a point in a multi-dimensional event space
+Omega whose dimensions are the schema attributes.  The evaluation (Sec. 6.1)
+uses a schema of up to 10 attributes, each with domain ``[0, 1023]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Attribute", "EventSpace", "Event"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One dimension of the event space.
+
+    ``low`` is inclusive, ``high`` exclusive; normalisation maps the domain
+    onto ``[0, 1)``.  The paper's integer attributes "in the range [0, 1023]"
+    are modelled with ``low=0, high=1024, grain=1``.
+
+    ``grain`` is the value resolution of the attribute: for integer-valued
+    attributes it is 1, meaning a closed predicate bound ``high`` really
+    covers the half-open raw interval ``[low, high + 1)``.  The spatial
+    index uses it so that events sitting exactly on a subscription's upper
+    bound are never lost to a half-open cell boundary (no false negatives).
+    Continuous attributes use ``grain=0``; for them boundary points have
+    measure zero.
+    """
+
+    name: str
+    low: float = 0.0
+    high: float = 1024.0
+    grain: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if not self.high > self.low:
+            raise SchemaError(
+                f"attribute {self.name!r}: high ({self.high}) must exceed "
+                f"low ({self.low})"
+            )
+        if self.grain < 0:
+            raise SchemaError(
+                f"attribute {self.name!r}: grain must be non-negative"
+            )
+
+    def normalize(self, value: float) -> float:
+        """Map a raw value into ``[0, 1)``; raises if outside the domain."""
+        if not (self.low <= value < self.high):
+            raise SchemaError(
+                f"value {value!r} outside domain [{self.low}, {self.high}) "
+                f"of attribute {self.name!r}"
+            )
+        return (value - self.low) / (self.high - self.low)
+
+    def denormalize(self, fraction: float) -> float:
+        """Inverse of :meth:`normalize` (fraction in ``[0, 1)``)."""
+        return self.low + fraction * (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class EventSpace:
+    """An ordered collection of attributes defining Omega.
+
+    The attribute order matters: spatial indexing cycles through dimensions
+    round-robin, so dimension ``i`` owns dz bits ``i, i+k, i+2k, ...`` where
+    ``k`` is the number of dimensions.
+    """
+
+    attributes: tuple[Attribute, ...]
+    _index: Mapping[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {names}")
+        if not names:
+            raise SchemaError("event space needs at least one attribute")
+        object.__setattr__(
+            self, "_index", {a.name: i for i, a in enumerate(self.attributes)}
+        )
+
+    @classmethod
+    def of(cls, *attributes: Attribute | str) -> "EventSpace":
+        """Build a space from attributes or bare names (default domain)."""
+        return cls(
+            tuple(
+                a if isinstance(a, Attribute) else Attribute(a)
+                for a in attributes
+            )
+        )
+
+    @classmethod
+    def paper_schema(cls, dimensions: int = 10) -> "EventSpace":
+        """The evaluation schema: ``dimensions`` attributes over [0, 1024)."""
+        if not 1 <= dimensions <= 26:
+            raise SchemaError("paper schema supports 1..26 dimensions")
+        return cls(
+            tuple(
+                Attribute(f"attr{i}", low=0.0, high=1024.0, grain=1.0)
+                for i in range(dimensions)
+            )
+        )
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.index_of(name)]
+
+    def restrict(self, names: Sequence[str]) -> "EventSpace":
+        """The sub-space over the given attributes, in the given order.
+
+        Dimension selection (Sec. 5) re-indexes the system over the selected
+        subset Omega_D; this method produces that reduced space.
+        """
+        return EventSpace(tuple(self.attribute(n) for n in names))
+
+    def point(self, event: "Event") -> tuple[float, ...]:
+        """Normalised coordinates of an event in this space.
+
+        Only the attributes of *this* space are read, so a full-schema event
+        projects naturally onto a restricted space.
+        """
+        return tuple(
+            a.normalize(event.value(a.name)) for a in self.attributes
+        )
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single publication: attribute/value pairs (a point in Omega)."""
+
+    values: Mapping[str, float]
+    event_id: int = 0
+
+    @classmethod
+    def of(cls, event_id: int = 0, **values: float) -> "Event":
+        return cls(values=dict(values), event_id=event_id)
+
+    def value(self, name: str) -> float:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SchemaError(f"event lacks attribute {name!r}") from None
+
+    def names(self) -> Iterable[str]:
+        return self.values.keys()
+
+    def __str__(self) -> str:
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self.values.items()))
+        return f"Event#{self.event_id}({body})"

@@ -1,0 +1,125 @@
+"""ASCII rendering of 2-D event-space decompositions.
+
+Debugging the spatial index is much easier when you can *see* it: these
+helpers draw a DZ region over a two-dimensional event space as a character
+grid (first dimension = x, left to right; second dimension = y, bottom to
+top, like Fig. 2 of the paper), and print DZ sets as indented trees.
+
+    >>> space = EventSpace.of(Attribute("A", 0, 100), Attribute("B", 0, 100))
+    >>> indexer = SpatialIndexer(space, max_dz_length=8)
+    >>> print(render_region(indexer, DzSet.of("100", "110")))  # Fig. 2 Adv
+"""
+
+from __future__ import annotations
+
+from repro.core.dz import Dz
+from repro.core.dzset import DzSet
+from repro.core.spatial_index import SpatialIndexer
+from repro.core.subscription import Filter
+from repro.exceptions import SpatialIndexError
+
+__all__ = ["render_region", "render_filter", "render_dz_tree"]
+
+
+def render_region(
+    indexer: SpatialIndexer,
+    region: DzSet,
+    width: int = 32,
+    height: int = 16,
+    fill: str = "#",
+    empty: str = ".",
+) -> str:
+    """Draw a DZ region of a 2-D space as a ``width`` x ``height`` grid.
+
+    Each character samples the centre of its grid cell: ``fill`` if the
+    point lies inside the region, ``empty`` otherwise.  The top row is the
+    high end of the second dimension.
+    """
+    if indexer.space.dimensions != 2:
+        raise SpatialIndexError(
+            "render_region draws 2-D spaces only "
+            f"(got {indexer.space.dimensions} dimensions)"
+        )
+    if width < 1 or height < 1:
+        raise SpatialIndexError("grid must be at least 1x1")
+    rows: list[str] = []
+    probe_len = indexer.max_dz_length
+    for row in range(height):
+        y = 1.0 - (row + 0.5) / height  # top row = high y
+        cells = []
+        for col in range(width):
+            x = (col + 0.5) / width
+            probe = indexer.point_to_dz((x, y), length=probe_len)
+            cells.append(fill if region.overlaps_dz(probe) else empty)
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def render_filter(
+    indexer: SpatialIndexer,
+    filt: Filter,
+    width: int = 32,
+    height: int = 16,
+) -> str:
+    """Draw a filter's enclosing DZ approximation over its exact box.
+
+    ``#`` marks cells inside both the approximation and the true box,
+    ``+`` marks approximation-only cells (the false-positive fringe),
+    ``.`` marks cells outside the approximation.
+    """
+    if indexer.space.dimensions != 2:
+        raise SpatialIndexError("render_filter draws 2-D spaces only")
+    region = indexer.filter_to_dzset(filt)
+    box = filt.normalized_box(indexer.space)
+    rows: list[str] = []
+    for row in range(height):
+        y = 1.0 - (row + 0.5) / height
+        cells = []
+        for col in range(width):
+            x = (col + 0.5) / width
+            probe = indexer.point_to_dz((x, y), length=indexer.max_dz_length)
+            in_region = region.overlaps_dz(probe)
+            in_box = all(
+                lo <= coord < hi
+                for coord, (lo, hi) in zip((x, y), box)
+            )
+            if in_region and in_box:
+                cells.append("#")
+            elif in_region:
+                cells.append("+")
+            else:
+                cells.append(".")
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def render_dz_tree(region: DzSet) -> str:
+    """Print a DZ set as an indented binary-trie sketch.
+
+    Members are marked ``*``; internal prefixes show the path structure::
+
+        <root>
+          0
+            00 *
+          1
+            10
+              101 *
+    """
+    members = set(region.members)
+    needed: set[str] = set()
+    for dz in members:
+        for i in range(len(dz.bits) + 1):
+            needed.add(dz.bits[:i])
+    lines: list[str] = []
+
+    def visit(bits: str, depth: int) -> None:
+        label = bits if bits else "<root>"
+        marker = " *" if Dz(bits) in members else ""
+        lines.append("  " * depth + label + marker)
+        for bit in ("0", "1"):
+            child = bits + bit
+            if child in needed:
+                visit(child, depth + 1)
+
+    visit("", 0)
+    return "\n".join(lines)

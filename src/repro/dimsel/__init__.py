@@ -1,0 +1,15 @@
+"""Dimension selection: spectral choice of the attributes to index."""
+
+from repro.dimsel.monitor import TrafficMonitor
+from repro.dimsel.selection import (
+    DimensionSelection,
+    build_match_matrix,
+    select_dimensions,
+)
+
+__all__ = [
+    "DimensionSelection",
+    "build_match_matrix",
+    "select_dimensions",
+    "TrafficMonitor",
+]

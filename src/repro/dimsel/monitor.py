@@ -1,0 +1,92 @@
+"""Traffic monitoring and periodic re-selection of dimensions (Sec. 5).
+
+"In order to adapt to the changes, a controller periodically collects
+information about the events disseminated (in the recent time window) by
+the publishers and repeats the dimension selection process."  The monitor
+keeps a bounded window of recent events, and on demand (or on a period)
+re-runs :func:`~repro.dimsel.selection.select_dimensions`, re-indexes the
+controller over the reduced space, and notifies registered publishers so
+future events are stamped with the correct dz.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Sequence
+
+from repro.core.events import Event, EventSpace
+from repro.core.spatial_index import SpatialIndexer
+from repro.core.subscription import Subscription
+from repro.dimsel.selection import DimensionSelection, select_dimensions
+from repro.exceptions import WorkloadError
+
+__all__ = ["TrafficMonitor"]
+
+ReindexCallback = Callable[[SpatialIndexer, DimensionSelection], None]
+
+
+class TrafficMonitor:
+    """Sliding window of published events + re-selection driver."""
+
+    def __init__(
+        self,
+        space: EventSpace,
+        window_size: int = 1000,
+        threshold: float = 0.75,
+        max_dz_length: int | None = None,
+    ) -> None:
+        if window_size < 1:
+            raise WorkloadError("window size must be >= 1")
+        self.space = space
+        self.threshold = threshold
+        self.max_dz_length = max_dz_length
+        self._window: Deque[Event] = deque(maxlen=window_size)
+        self._callbacks: list[ReindexCallback] = []
+        self.last_selection: DimensionSelection | None = None
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    def record_event(self, event: Event) -> None:
+        """Add one published event to the recent-traffic window."""
+        self._window.append(event)
+
+    @property
+    def window(self) -> tuple[Event, ...]:
+        return tuple(self._window)
+
+    def on_reselect(self, callback: ReindexCallback) -> None:
+        """Register a hook fired after each selection round (publishers use
+        this to learn the new indexing)."""
+        self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    def reselect(
+        self,
+        subscriptions: Sequence[Subscription],
+        k: int | None = None,
+    ) -> DimensionSelection:
+        """Run one selection round over the current window.
+
+        Returns the selection and fires the registered callbacks with a
+        new :class:`SpatialIndexer` over the restricted space.
+        """
+        if not self._window:
+            raise WorkloadError("no events recorded yet")
+        selection = select_dimensions(
+            self.space,
+            subscriptions,
+            list(self._window),
+            threshold=self.threshold,
+            k=k,
+        )
+        reduced = self.space.restrict(selection.selected)
+        indexer = (
+            SpatialIndexer(reduced, max_dz_length=self.max_dz_length)
+            if self.max_dz_length is not None
+            else SpatialIndexer(reduced)
+        )
+        self.last_selection = selection
+        self.rounds += 1
+        for callback in self._callbacks:
+            callback(indexer, selection)
+        return selection

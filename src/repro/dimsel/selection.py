@@ -1,0 +1,128 @@
+"""Dimension selection by spectral analysis (Sec. 5).
+
+The length of dz-expressions grows linearly with the number of indexed
+attributes, so PLEROMA indexes only a subset Omega_D chosen for its ability
+to avoid disseminating unnecessary messages.  The selection pipeline:
+
+1. For the last ``n`` events ``E^t`` and each dimension ``d``, count the
+   subscriptions the event matches *along d alone*; this yields the matrix
+   ``W`` (|Omega| x |E^t|) with ``w_ij = |S_i^{e_j}|``.
+2. Centre ``W`` by subtracting its row means from the columns, and form the
+   covariance matrix ``C = W~ W~^T`` capturing cross-dimension correlation
+   of the traffic consumed by subscriptions.
+3. Eigendecompose ``C = Q Λ Q^T``; the eigenvector ``q`` with the largest
+   eigenvalue spans the direction of maximal variance.
+4. Rank the original dimensions by the magnitude of their coefficient in
+   ``q`` (the PCA-based feature selection of Malhi & Gao [18]) and keep the
+   first ``k`` whose cumulative magnitude share exceeds an
+   administrator-defined threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.events import Event, EventSpace
+from repro.core.subscription import Subscription
+from repro.exceptions import SchemaError, WorkloadError
+
+__all__ = [
+    "DimensionSelection",
+    "build_match_matrix",
+    "select_dimensions",
+]
+
+
+@dataclass(frozen=True)
+class DimensionSelection:
+    """The outcome of one selection round."""
+
+    ranked: tuple[str, ...]
+    selected: tuple[str, ...]
+    scores: dict[str, float]
+    eigenvalues: tuple[float, ...]
+    threshold: float
+
+    @property
+    def k(self) -> int:
+        return len(self.selected)
+
+
+def build_match_matrix(
+    space: EventSpace,
+    subscriptions: Sequence[Subscription],
+    events: Sequence[Event],
+) -> np.ndarray:
+    """The matrix ``W``: rows = dimensions, columns = events,
+    ``W[i, j]`` = number of subscriptions event ``j`` matches along
+    dimension ``i`` alone."""
+    if not subscriptions:
+        raise WorkloadError("dimension selection needs subscriptions")
+    if not events:
+        raise WorkloadError("dimension selection needs an event window")
+    w = np.zeros((space.dimensions, len(events)), dtype=float)
+    for i, name in enumerate(space.names):
+        for j, event in enumerate(events):
+            w[i, j] = sum(
+                1
+                for sub in subscriptions
+                if sub.filter.matches_along(name, event)
+            )
+    return w
+
+
+def select_dimensions(
+    space: EventSpace,
+    subscriptions: Sequence[Subscription],
+    events: Sequence[Event],
+    threshold: float = 0.75,
+    k: int | None = None,
+) -> DimensionSelection:
+    """Pick the dimensions to index (Omega_D).
+
+    ``threshold`` is the administrator-defined cumulative-magnitude cutoff
+    on the leading eigenvector's coefficients; alternatively a fixed ``k``
+    can be forced (used by the Fig. 7e sweep).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise WorkloadError(f"threshold must be in (0, 1], got {threshold}")
+    if k is not None and not 1 <= k <= space.dimensions:
+        raise SchemaError(
+            f"k must be in 1..{space.dimensions}, got {k}"
+        )
+    w = build_match_matrix(space, subscriptions, events)
+    centred = w - w.mean(axis=1, keepdims=True)
+    covariance = centred @ centred.T
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    # eigh returns ascending order; the leading eigenvector is the last
+    leading = eigenvectors[:, -1]
+    magnitudes = np.abs(leading)
+    total = float(magnitudes.sum())
+    if total == 0.0 or float(eigenvalues[-1]) <= 1e-12:
+        # no variance anywhere: fall back to schema order
+        magnitudes = np.ones(space.dimensions)
+        total = float(space.dimensions)
+    order = sorted(
+        range(space.dimensions),
+        key=lambda i: (-magnitudes[i], space.names[i]),
+    )
+    ranked = tuple(space.names[i] for i in order)
+    scores = {space.names[i]: float(magnitudes[i]) for i in order}
+    if k is None:
+        cumulative = 0.0
+        k = 0
+        for i in order:
+            cumulative += magnitudes[i] / total
+            k += 1
+            if cumulative >= threshold:
+                break
+    return DimensionSelection(
+        ranked=ranked,
+        selected=ranked[:k],
+        scores=scores,
+        eigenvalues=tuple(float(v) for v in eigenvalues[::-1]),
+        threshold=threshold,
+    )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the PLEROMA reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one type at the API boundary.  Subclasses are organised per subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SpatialIndexError(ReproError):
+    """Invalid dz-expression, event-space mismatch, or decomposition failure."""
+
+
+class AddressingError(ReproError):
+    """A dz-expression cannot be embedded into the multicast address range."""
+
+
+class SchemaError(ReproError):
+    """An event or subscription does not conform to the event-space schema."""
+
+
+class TopologyError(ReproError):
+    """Invalid network topology: unknown node, missing link, bad port."""
+
+
+class FlowTableError(ReproError):
+    """Malformed flow entry or inconsistent flow-table operation."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation engine."""
+
+
+class ControllerError(ReproError):
+    """Violation of controller invariants (tree disjointness, unknown host)."""
+
+
+class FederationError(ReproError):
+    """Multi-partition interoperability failure (unknown partition, loop)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload-generator configuration."""

@@ -1,0 +1,23 @@
+"""Multi-partition interoperability: discovery, messages, federation."""
+
+from repro.interop.discovery import BorderPort, discover_borders
+from repro.interop.federation import Federation, FederationStats
+from repro.interop.messages import (
+    ExternalAdvertisement,
+    ExternalSubscription,
+    ExternalUnadvertisement,
+    ExternalUnsubscription,
+    RequestId,
+)
+
+__all__ = [
+    "BorderPort",
+    "discover_borders",
+    "Federation",
+    "FederationStats",
+    "ExternalAdvertisement",
+    "ExternalSubscription",
+    "ExternalUnsubscription",
+    "ExternalUnadvertisement",
+    "RequestId",
+]

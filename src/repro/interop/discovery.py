@@ -1,0 +1,66 @@
+"""LLDP-based discovery of border switches (Sec. 4.1).
+
+Each controller floods LLDP packets through its own switches.  A switch
+receiving LLDP directly from its controller forwards it on all ports; a
+switch receiving LLDP from *another* switch hands it to its controller.
+Packets originating from a foreign controller reveal a border: the
+controller notes the local ``(switch, port)`` tuple at which foreign LLDP
+arrived.  Those tuples are all a controller ever knows about its
+neighbours — identities stay hidden.
+
+The simulation performs the same walk over the fabric's links: for every
+inter-switch link whose endpoints belong to different partitions, each side
+records its local border port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import FederationError
+from repro.network.fabric import Network
+
+__all__ = ["BorderPort", "discover_borders"]
+
+
+@dataclass(frozen=True, order=True)
+class BorderPort:
+    """A local switch/port tuple facing an adjoining partition."""
+
+    switch: str
+    port: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.switch}:{self.port}"
+
+
+def discover_borders(
+    network: Network, owner_of: Mapping[str, str]
+) -> dict[str, list[BorderPort]]:
+    """Run LLDP discovery over the fabric.
+
+    ``owner_of`` maps each switch name to its controller name.  Returns,
+    per controller, the sorted list of border ports at which that
+    controller's switches received LLDP from a foreign controller.
+    """
+    for switch in network.switches:
+        if switch not in owner_of:
+            raise FederationError(f"switch {switch!r} has no controller")
+    borders: dict[str, set[BorderPort]] = {
+        name: set() for name in set(owner_of.values())
+    }
+    # LLDP from controller c floods out of every switch of c; when a frame
+    # crosses a link into a switch of a different controller c2, the frame
+    # is handed to c2, which notes the receiving (switch, port).
+    for link in network.links.values():
+        a, b = link.a, link.b
+        if a.name not in owner_of or b.name not in owner_of:
+            continue  # host attachment, not a switch-switch link
+        owner_a, owner_b = owner_of[a.name], owner_of[b.name]
+        if owner_a == owner_b:
+            continue
+        borders[owner_b].add(BorderPort(b.name, link.port_for(b)))
+        borders[owner_a].add(BorderPort(a.name, link.port_for(a)))
+    return {name: sorted(ports) for name, ports in borders.items()}

@@ -1,0 +1,64 @@
+"""Inter-controller control messages (Sec. 4).
+
+Controllers of neighbouring partitions never learn each other's identity:
+messages travel through border switch ports, addressed to ``IP_pub/sub``,
+so the receiving border switch diverts them to its own controller.
+
+Each request carries an opaque ``request_id`` — ``(origin controller name,
+original request id)``.  The id serves two purposes: (i) *deduplication*,
+so a request flooded through a cyclic partition graph (e.g. the ring of
+Sec. 6.6 cut into arcs) is processed at most once per partition, which
+makes the processed-from borders form a spanning tree of the partition
+graph and gives subscriptions a unique reverse path; (ii) correlating a
+later unsubscription with the virtual subscriptions it created remotely.
+The paper's line-shaped example (Fig. 5) never exercises cycles, so it
+leaves this guard implicit; covering-based suppression alone does not
+prevent duplicate *processing* on cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dzset import DzSet
+
+__all__ = [
+    "RequestId",
+    "ExternalAdvertisement",
+    "ExternalSubscription",
+    "ExternalUnsubscription",
+    "ExternalUnadvertisement",
+]
+
+#: (origin controller name, origin-local request number)
+RequestId = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ExternalAdvertisement:
+    """An advertisement shared with an adjoining partition (Sec. 4.2)."""
+
+    request_id: RequestId
+    dz_set: DzSet
+
+
+@dataclass(frozen=True)
+class ExternalSubscription:
+    """A subscription following the reverse path of an advertisement."""
+
+    request_id: RequestId
+    dz_set: DzSet
+
+
+@dataclass(frozen=True)
+class ExternalUnsubscription:
+    """Withdraws the virtual subscriptions created by a forwarded sub."""
+
+    request_id: RequestId
+
+
+@dataclass(frozen=True)
+class ExternalUnadvertisement:
+    """Withdraws the virtual advertisements created by a forwarded adv."""
+
+    request_id: RequestId

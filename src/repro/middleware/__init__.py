@@ -1,0 +1,18 @@
+"""User-facing middleware: the Pleroma facade, clients and metrics."""
+
+from repro.middleware.client import Publisher, Subscriber
+from repro.middleware.metrics import (
+    DeliveryRecord,
+    MetricsCollector,
+    summarize,
+)
+from repro.middleware.pleroma import Pleroma
+
+__all__ = [
+    "Pleroma",
+    "Publisher",
+    "Subscriber",
+    "DeliveryRecord",
+    "MetricsCollector",
+    "summarize",
+]

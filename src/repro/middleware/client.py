@@ -1,0 +1,109 @@
+"""Publisher and subscriber clients: the host-side API.
+
+Clients wrap one end host each.  A publisher must advertise before
+publishing (Sec. 2); a subscriber registers filters and receives matching
+events through a callback.  Clients talk to the middleware facade, which
+routes their requests to the responsible controller and stamps outgoing
+events with the current spatial indexing (so dimension re-selection is
+transparent to application code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Filter, Subscription
+from repro.exceptions import ControllerError
+
+if TYPE_CHECKING:
+    from repro.middleware.pleroma import Pleroma
+
+__all__ = ["Publisher", "Subscriber"]
+
+EventCallback = Callable[[Event, float], None]
+
+
+@dataclass
+class Publisher:
+    """A publishing client bound to one end host."""
+
+    middleware: "Pleroma"
+    host: str
+    _advertisements: dict[int, Advertisement] = field(default_factory=dict)
+    published: int = 0
+
+    def advertise(self, advertisement: Advertisement | Filter) -> int:
+        """Declare a publication region; returns the advertisement id."""
+        if isinstance(advertisement, Filter):
+            advertisement = Advertisement(filter=advertisement)
+        state = self.middleware.advertise(self.host, advertisement)
+        self._advertisements[state.adv_id] = advertisement
+        return state.adv_id
+
+    def unadvertise(self, adv_id: int) -> None:
+        if adv_id not in self._advertisements:
+            raise ControllerError(
+                f"publisher {self.host!r} holds no advertisement {adv_id}"
+            )
+        self.middleware.unadvertise(self.host, adv_id)
+        del self._advertisements[adv_id]
+
+    def publish(self, event: Event) -> None:
+        """Send one event.  The event must be covered by one of this
+        publisher's advertisements — publishing unadvertised content is a
+        protocol violation (Sec. 2)."""
+        if not any(
+            adv.covers(event) for adv in self._advertisements.values()
+        ):
+            raise ControllerError(
+                f"publisher {self.host!r} publishes outside its "
+                f"advertisements: {event}"
+            )
+        self.middleware.publish(self.host, event)
+        self.published += 1
+
+
+@dataclass
+class Subscriber:
+    """A subscribing client bound to one end host.
+
+    ``received`` records every event the host's NIC delivered, including
+    network-level false positives; ``matched`` only those satisfying one of
+    the client's subscriptions — the application-visible stream.
+    """
+
+    middleware: "Pleroma"
+    host: str
+    callback: Optional[EventCallback] = None
+    _subscriptions: dict[int, Subscription] = field(default_factory=dict)
+    received: list[Event] = field(default_factory=list)
+    matched: list[Event] = field(default_factory=list)
+
+    def subscribe(self, subscription: Subscription | Filter) -> int:
+        if isinstance(subscription, Filter):
+            subscription = Subscription(filter=subscription)
+        state = self.middleware.subscribe(self.host, subscription)
+        self._subscriptions[state.sub_id] = subscription
+        return state.sub_id
+
+    def unsubscribe(self, sub_id: int) -> None:
+        if sub_id not in self._subscriptions:
+            raise ControllerError(
+                f"subscriber {self.host!r} holds no subscription {sub_id}"
+            )
+        self.middleware.unsubscribe(self.host, sub_id)
+        del self._subscriptions[sub_id]
+
+    @property
+    def subscriptions(self) -> dict[int, Subscription]:
+        return dict(self._subscriptions)
+
+    def _deliver(self, event: Event, now: float, matched: bool) -> None:
+        """Called by the middleware for every event reaching this host."""
+        self.received.append(event)
+        if matched:
+            self.matched.append(event)
+            if self.callback is not None:
+                self.callback(event, now)

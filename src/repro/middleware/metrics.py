@@ -1,0 +1,137 @@
+"""Measurement harness: delays, throughput, false positives, control cost.
+
+The collector observes every published and delivered event and derives the
+metrics of Sec. 6:
+
+* **end-to-end delay** — delivery time minus publish time (Fig. 7a/b);
+* **throughput** — events received per second vs. sent per second
+  (Fig. 7c);
+* **false positive rate** — the percentage of received events the receiving
+  host never subscribed to, caused by dz truncation and enclosing
+  approximations (Fig. 7d/e);
+* **reconfiguration delay** — per-request controller cost, read from the
+  controllers' request logs (Fig. 7f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.events import Event
+
+__all__ = ["DeliveryRecord", "MetricsCollector", "summarize"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One event delivered to one host."""
+
+    host: str
+    event: Event
+    publish_time: float
+    deliver_time: float
+    matched: bool
+
+    @property
+    def delay(self) -> float:
+        return self.deliver_time - self.publish_time
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates publish/delivery observations."""
+
+    records: list[DeliveryRecord] = field(default_factory=list)
+    published: int = 0
+    first_publish_time: float | None = None
+    last_publish_time: float | None = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def on_publish(self, now: float) -> None:
+        self.published += 1
+        if self.first_publish_time is None:
+            self.first_publish_time = now
+        self.last_publish_time = now
+
+    def on_delivery(self, record: DeliveryRecord) -> None:
+        self.records.append(record)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.published = 0
+        self.first_publish_time = None
+        self.last_publish_time = None
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def delivered(self) -> int:
+        return len(self.records)
+
+    def delays(self) -> list[float]:
+        return [r.delay for r in self.records]
+
+    def mean_delay(self) -> float:
+        delays = self.delays()
+        if not delays:
+            raise ValueError("no deliveries recorded")
+        return sum(delays) / len(delays)
+
+    def max_delay(self) -> float:
+        delays = self.delays()
+        if not delays:
+            raise ValueError("no deliveries recorded")
+        return max(delays)
+
+    def false_positive_rate(self) -> float:
+        """Unwanted deliveries over total deliveries, as a percentage —
+        exactly the paper's FPR definition (Sec. 6.4)."""
+        if not self.records:
+            return 0.0
+        unwanted = sum(1 for r in self.records if not r.matched)
+        return 100.0 * unwanted / len(self.records)
+
+    def deliveries_per_host(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.host] = counts.get(record.host, 0) + 1
+        return counts
+
+    def received_rate_eps(self) -> float:
+        """Events received per second across all hosts, over the publishing
+        window (Fig. 7c's y axis)."""
+        if (
+            self.first_publish_time is None
+            or self.last_publish_time is None
+            or self.last_publish_time <= self.first_publish_time
+        ):
+            raise ValueError("need a publishing window to compute a rate")
+        window = self.last_publish_time - self.first_publish_time
+        return self.delivered / window
+
+    def sent_rate_eps(self) -> float:
+        if (
+            self.first_publish_time is None
+            or self.last_publish_time is None
+            or self.last_publish_time <= self.first_publish_time
+        ):
+            raise ValueError("need a publishing window to compute a rate")
+        window = self.last_publish_time - self.first_publish_time
+        return self.published / window
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Small helper for benchmark tables: mean/min/max of a series."""
+    data = list(values)
+    if not data:
+        raise ValueError("no values to summarise")
+    return {
+        "mean": sum(data) / len(data),
+        "min": min(data),
+        "max": max(data),
+        "count": float(len(data)),
+    }

@@ -1,0 +1,84 @@
+"""Simulated SDN data plane: packets, flows, switches, links, hosts."""
+
+from repro.network.control_channel import (
+    DEFAULT_CONTROL_LATENCY_S,
+    ControlChannel,
+)
+from repro.network.fabric import Network, NetworkParams
+from repro.network.flow import Action, FlowEntry, FlowTable
+from repro.network.host import DEFAULT_HOST_RATE_EPS, HOST_ADDRESS_BASE, Host
+from repro.network.link import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_LINK_DELAY_S,
+    Link,
+)
+from repro.network.openflow import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMessage,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+)
+from repro.network.packet import EventPayload, Packet, event_packet_size
+from repro.network.stats import LinkSample, LinkUtilizationSampler
+from repro.network.switch import DEFAULT_LOOKUP_DELAY_S, Switch
+from repro.network.topology import (
+    LinkSpec,
+    Topology,
+    line,
+    mininet_fat_tree,
+    paper_fat_tree,
+    partition_switches,
+    ring,
+    star,
+)
+
+__all__ = [
+    "Network",
+    "NetworkParams",
+    "ControlChannel",
+    "DEFAULT_CONTROL_LATENCY_S",
+    "OpenFlowMessage",
+    "FlowMod",
+    "FlowModCommand",
+    "BarrierRequest",
+    "BarrierReply",
+    "PacketIn",
+    "PacketOut",
+    "FeaturesRequest",
+    "FeaturesReply",
+    "EchoRequest",
+    "EchoReply",
+    "ErrorMessage",
+    "LinkSample",
+    "LinkUtilizationSampler",
+    "Action",
+    "FlowEntry",
+    "FlowTable",
+    "Host",
+    "HOST_ADDRESS_BASE",
+    "DEFAULT_HOST_RATE_EPS",
+    "Link",
+    "DEFAULT_LINK_DELAY_S",
+    "DEFAULT_BANDWIDTH_BPS",
+    "Packet",
+    "EventPayload",
+    "event_packet_size",
+    "Switch",
+    "DEFAULT_LOOKUP_DELAY_S",
+    "Topology",
+    "LinkSpec",
+    "paper_fat_tree",
+    "mininet_fat_tree",
+    "ring",
+    "line",
+    "star",
+    "partition_switches",
+]

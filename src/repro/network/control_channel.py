@@ -1,0 +1,202 @@
+"""The out-of-band control network between a controller and its switches.
+
+Each switch has a dedicated control connection ("a dedicated control
+network", Sec. 1).  The channel delivers OpenFlow messages with a
+configurable one-way latency, preserves per-switch FIFO ordering (TCP
+semantics), applies flow-mods to the switch's table on arrival, and
+answers barriers/echoes/features requests.  ``IP_pub/sub`` packets
+diverted by a switch travel the reverse direction as ``PacketIn``.
+
+The channel also keeps counters — messages and bytes per direction — that
+back the control-overhead measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import FlowTableError, TopologyError
+from repro.network.openflow import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMessage,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+)
+from repro.network.packet import Packet
+from repro.network.switch import Switch
+from repro.sim.engine import Simulator
+
+__all__ = ["ControlChannel", "DEFAULT_CONTROL_LATENCY_S"]
+
+#: One-way controller<->switch latency.  Two crossings (request + ack)
+#: match the 0.35 ms per-flow-mod round trip used in the delay model.
+DEFAULT_CONTROL_LATENCY_S = 175e-6
+
+ControllerHandler = Callable[[PacketIn], None]
+
+
+@dataclass
+class _Connection:
+    switch: Switch
+    handler: Optional[ControllerHandler] = None
+    # FIFO ordering: the next message may not arrive before this time
+    busy_until: float = 0.0
+    to_switch_messages: int = 0
+    to_controller_messages: int = 0
+
+
+class ControlChannel:
+    """Latency- and order-preserving OpenFlow transport for one controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float = DEFAULT_CONTROL_LATENCY_S,
+    ) -> None:
+        if latency_s < 0:
+            raise TopologyError("control latency must be >= 0")
+        self.sim = sim
+        self.latency_s = latency_s
+        self._connections: dict[str, _Connection] = {}
+        self.replies: list[OpenFlowMessage] = []
+        self.errors: list[ErrorMessage] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect(
+        self, switch: Switch, handler: ControllerHandler | None = None
+    ) -> None:
+        """Open the control connection to a switch.
+
+        The switch's ``IP_pub/sub`` diversion is rewired to produce
+        ``PacketIn`` messages through this channel.
+        """
+        if switch.name in self._connections:
+            raise TopologyError(f"{switch.name} already connected")
+        connection = _Connection(switch=switch, handler=handler)
+        self._connections[switch.name] = connection
+        switch.set_control_handler(
+            lambda sw, packet, in_port: self._packet_in(
+                connection, packet, in_port
+            )
+        )
+
+    def set_handler(self, switch_name: str, handler: ControllerHandler) -> None:
+        self._connection(switch_name).handler = handler
+
+    def connected_switches(self) -> list[str]:
+        return sorted(self._connections)
+
+    def _connection(self, switch_name: str) -> _Connection:
+        try:
+            return self._connections[switch_name]
+        except KeyError:
+            raise TopologyError(
+                f"no control connection to {switch_name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # controller -> switch
+    # ------------------------------------------------------------------
+    def send(self, switch_name: str, message: OpenFlowMessage) -> None:
+        """Ship one message to a switch; it is applied after the one-way
+        latency, in FIFO order with earlier messages."""
+        connection = self._connection(switch_name)
+        connection.to_switch_messages += 1
+        arrival = max(
+            self.sim.now + self.latency_s, connection.busy_until
+        )
+        connection.busy_until = arrival
+        self.sim.schedule_at(arrival, self._apply, connection, message)
+
+    def _apply(self, connection: _Connection, message: OpenFlowMessage) -> None:
+        switch = connection.switch
+        if isinstance(message, FlowMod):
+            try:
+                self._apply_flow_mod(switch, message)
+            except FlowTableError as exc:
+                self._reply(
+                    connection,
+                    ErrorMessage(failed_xid=message.xid, reason=str(exc)),
+                )
+        elif isinstance(message, BarrierRequest):
+            self._reply(connection, BarrierReply(xid=message.xid))
+        elif isinstance(message, EchoRequest):
+            self._reply(connection, EchoReply(xid=message.xid))
+        elif isinstance(message, FeaturesRequest):
+            self._reply(
+                connection,
+                FeaturesReply(
+                    datapath=switch.name,
+                    ports=tuple(sorted(switch.ports)),
+                    table_capacity=switch.table.capacity,
+                    xid=message.xid,
+                ),
+            )
+        elif isinstance(message, PacketOut):
+            switch.send_via_port(message.out_port, message.packet)
+        else:
+            self._reply(
+                connection,
+                ErrorMessage(
+                    failed_xid=message.xid,
+                    reason=f"unsupported message {type(message).__name__}",
+                ),
+            )
+
+    @staticmethod
+    def _apply_flow_mod(switch: Switch, mod: FlowMod) -> None:
+        if mod.command in (FlowModCommand.ADD, FlowModCommand.MODIFY):
+            assert mod.entry is not None
+            switch.table.install(mod.entry)
+        else:
+            assert mod.match is not None
+            switch.table.remove(mod.match)
+
+    # ------------------------------------------------------------------
+    # switch -> controller
+    # ------------------------------------------------------------------
+    def _packet_in(
+        self, connection: _Connection, packet: Packet, in_port: int
+    ) -> None:
+        message = PacketIn(
+            switch=connection.switch.name, in_port=in_port, packet=packet
+        )
+        connection.to_controller_messages += 1
+        self.sim.schedule(self.latency_s, self._deliver_packet_in, connection, message)
+
+    def _deliver_packet_in(
+        self, connection: _Connection, message: PacketIn
+    ) -> None:
+        if connection.handler is not None:
+            connection.handler(message)
+
+    def _reply(self, connection: _Connection, message: OpenFlowMessage) -> None:
+        connection.to_controller_messages += 1
+        self.sim.schedule(self.latency_s, self._record_reply, message)
+
+    def _record_reply(self, message: OpenFlowMessage) -> None:
+        self.replies.append(message)
+        if isinstance(message, ErrorMessage):
+            self.errors.append(message)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def messages_to_switches(self) -> int:
+        return sum(c.to_switch_messages for c in self._connections.values())
+
+    def messages_to_controller(self) -> int:
+        return sum(
+            c.to_controller_messages for c in self._connections.values()
+        )

@@ -1,0 +1,203 @@
+"""OpenFlow-style flow entries and prioritised TCAM flow tables.
+
+A flow (Sec. 3.3.2) consists of a match field (an IPv6 CIDR prefix carrying
+a dz-expression), an instruction set (output ports, optionally a set-field
+rewriting the destination address on terminal switches), and a priority
+order deciding which of several matching flows applies — PLEROMA assigns
+higher priority to longer dz so the most specific subspace wins.
+
+The table model follows TCAM semantics: a packet is matched against all
+entries, and only the instruction set of the single highest-priority match
+is executed.  Lookup time in hardware is independent of occupancy; the
+switch model adds that constant-time cost, this module is purely the
+matching semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.core.addressing import MulticastPrefix, dz_to_prefix, prefix_to_dz
+from repro.core.dz import Dz
+from repro.exceptions import FlowTableError
+
+__all__ = ["Action", "FlowEntry", "FlowTable"]
+
+_cookie_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, order=True)
+class Action:
+    """One instruction: output on a port, optionally rewriting the dst IP.
+
+    ``set_dest`` models the OpenFlow set-field action used on terminal
+    switches to readdress an event to the subscriber host (Fig. 3).
+    """
+
+    out_port: int
+    set_dest: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.set_dest is None:
+            return f"out:{self.out_port}"
+        return f"set-dst={self.set_dest:#x},out:{self.out_port}"
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """An immutable flow-table entry; modifications replace the entry."""
+
+    match: MulticastPrefix
+    priority: int
+    actions: frozenset[Action]
+    cookie: int = field(default_factory=lambda: next(_cookie_counter))
+
+    @classmethod
+    def for_dz(
+        cls,
+        dz: Dz,
+        actions: frozenset[Action] | set[Action],
+        priority: int | None = None,
+    ) -> "FlowEntry":
+        """Build an entry matching subspace ``dz``.
+
+        Default priority is ``|dz|`` — the paper's rule that longer
+        dz-expressions take precedence.
+        """
+        return cls(
+            match=dz_to_prefix(dz),
+            priority=len(dz) if priority is None else priority,
+            actions=frozenset(actions),
+        )
+
+    @property
+    def dz(self) -> Dz:
+        """The subspace this entry filters for."""
+        return prefix_to_dz(self.match)
+
+    @property
+    def out_ports(self) -> frozenset[int]:
+        return frozenset(a.out_port for a in self.actions)
+
+    def covers(self, other: "FlowEntry") -> bool:
+        """Full flow containment (Sec. 3.3.2): coarser-or-equal match *and*
+        a superset of the other's actions."""
+        return self.match.covers(other.match) and self.actions >= other.actions
+
+    def partially_covers(self, other: "FlowEntry") -> bool:
+        """Partial containment: coarser-or-equal match but missing actions."""
+        return self.match.covers(other.match) and not (
+            self.actions >= other.actions
+        )
+
+    def with_actions(self, actions: frozenset[Action]) -> "FlowEntry":
+        return replace(self, actions=frozenset(actions))
+
+    def with_priority(self, priority: int) -> "FlowEntry":
+        return replace(self, priority=priority)
+
+    def __str__(self) -> str:
+        acts = ", ".join(str(a) for a in sorted(self.actions))
+        return f"[{self.match} prio={self.priority} -> {{{acts}}}]"
+
+
+class FlowTable:
+    """A prioritised prefix-match table with TCAM semantics.
+
+    At most one entry exists per match prefix (the controller aggregates
+    ports into a single entry per dz, as Algorithm 1 does).  Lookup returns
+    the matching entry with the highest ``(priority, prefix_len)``.
+
+    ``capacity`` models the bounded TCAM of real switches (the paper cites
+    40k–180k entries per switch); inserting beyond it raises.
+    """
+
+    def __init__(self, capacity: int = 180_000) -> None:
+        if capacity < 1:
+            raise FlowTableError("flow table capacity must be positive")
+        self.capacity = capacity
+        # prefix_len -> network -> entry; keeps lookup O(#distinct lengths).
+        self._by_len: dict[int, dict[int, FlowEntry]] = {}
+        self._size = 0
+        self.lookups = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        for plen in sorted(self._by_len, reverse=True):
+            yield from self._by_len[plen].values()
+
+    def entries(self) -> list[FlowEntry]:
+        return list(self)
+
+    def get(self, match: MulticastPrefix) -> Optional[FlowEntry]:
+        """The entry with exactly this match field, if installed."""
+        return self._by_len.get(match.prefix_len, {}).get(match.network)
+
+    def get_dz(self, dz: Dz) -> Optional[FlowEntry]:
+        return self.get(dz_to_prefix(dz))
+
+    # ------------------------------------------------------------------
+    def install(self, entry: FlowEntry) -> None:
+        """Add or replace the entry for ``entry.match``."""
+        bucket = self._by_len.setdefault(entry.match.prefix_len, {})
+        if entry.match.network not in bucket:
+            if self._size >= self.capacity:
+                raise FlowTableError(
+                    f"flow table full ({self.capacity} entries)"
+                )
+            self._size += 1
+        bucket[entry.match.network] = entry
+
+    def remove(self, match: MulticastPrefix) -> FlowEntry:
+        """Delete and return the entry for ``match``."""
+        bucket = self._by_len.get(match.prefix_len)
+        if bucket is None or match.network not in bucket:
+            raise FlowTableError(f"no flow installed for {match}")
+        entry = bucket.pop(match.network)
+        if not bucket:
+            del self._by_len[match.prefix_len]
+        self._size -= 1
+        return entry
+
+    def clear(self) -> None:
+        self._by_len.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> Optional[FlowEntry]:
+        """TCAM match: the single best entry for a destination address."""
+        self.lookups += 1
+        best: Optional[FlowEntry] = None
+        best_key = (-1, -1)
+        for plen, bucket in self._by_len.items():
+            network = address & _mask_of(plen)
+            entry = bucket.get(network)
+            if entry is not None:
+                key = (entry.priority, plen)
+                if key > best_key:
+                    best, best_key = entry, key
+        if best is None:
+            self.misses += 1
+        return best
+
+    def matching_entries(self, address: int) -> list[FlowEntry]:
+        """All entries whose prefix matches (most specific first)."""
+        hits = []
+        for plen in sorted(self._by_len, reverse=True):
+            entry = self._by_len[plen].get(address & _mask_of(plen))
+            if entry is not None:
+                hits.append(entry)
+        hits.sort(key=lambda e: (e.priority, e.match.prefix_len), reverse=True)
+        return hits
+
+
+def _mask_of(prefix_len: int) -> int:
+    if prefix_len == 0:
+        return 0
+    return ((1 << prefix_len) - 1) << (128 - prefix_len)

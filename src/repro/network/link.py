@@ -1,0 +1,134 @@
+"""Point-to-point links with propagation delay, bandwidth and queueing.
+
+Each link is full-duplex: the two directions have independent transmit
+queues.  Serialisation delay is ``size / bandwidth``; packets queue behind
+earlier transmissions in the same direction (a busy-until model, i.e. an
+ideal FIFO output queue of unbounded length — loss under overload is
+modelled at the hosts, where the paper located the bottleneck, Sec. 6.3).
+Per-direction byte/packet counters feed the bandwidth-efficiency and
+link-load metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from repro.exceptions import TopologyError
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+
+__all__ = ["Link", "NetworkNode", "DEFAULT_LINK_DELAY_S", "DEFAULT_BANDWIDTH_BPS"]
+
+#: 50 microseconds of propagation/processing per hop — datacenter scale.
+DEFAULT_LINK_DELAY_S = 50e-6
+#: 1 Gbit/s links, as in the commodity testbed.
+DEFAULT_BANDWIDTH_BPS = 1e9
+
+
+class NetworkNode(Protocol):
+    """Anything attachable to a link end: a switch or a host."""
+
+    name: str
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Handle a packet arriving on local port ``in_port``."""
+
+
+@dataclass
+class _Direction:
+    """State of one transmit direction of a link."""
+
+    busy_until: float = 0.0
+    packets: int = 0
+    bytes: int = 0
+
+
+class Link:
+    """A bidirectional link between two nodes, with named local ports."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        a: NetworkNode,
+        a_port: int,
+        b: NetworkNode,
+        b_port: int,
+        delay_s: float = DEFAULT_LINK_DELAY_S,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    ) -> None:
+        if delay_s < 0 or bandwidth_bps <= 0:
+            raise TopologyError("link delay must be >= 0 and bandwidth > 0")
+        self.sim = sim
+        self.a, self.a_port = a, a_port
+        self.b, self.b_port = b, b_port
+        self.delay_s = delay_s
+        self.bandwidth_bps = bandwidth_bps
+        self.up = True
+        self.packets_lost_down = 0
+        self._dir_ab = _Direction()
+        self._dir_ba = _Direction()
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down: subsequent transmissions are lost."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    # ------------------------------------------------------------------
+    def endpoint_for(self, node: NetworkNode) -> tuple[NetworkNode, int]:
+        """The (far node, far port) seen from ``node``."""
+        if node is self.a:
+            return self.b, self.b_port
+        if node is self.b:
+            return self.a, self.a_port
+        raise TopologyError(f"{node.name} is not an endpoint of this link")
+
+    def port_for(self, node: NetworkNode) -> int:
+        """The local port number of ``node`` on this link."""
+        if node is self.a:
+            return self.a_port
+        if node is self.b:
+            return self.b_port
+        raise TopologyError(f"{node.name} is not an endpoint of this link")
+
+    # ------------------------------------------------------------------
+    def transmit(self, sender: NetworkNode, packet: Packet) -> None:
+        """Send a packet from ``sender`` to the far end of the link."""
+        if not self.up:
+            self.packets_lost_down += 1
+            return
+        receiver, far_port = self.endpoint_for(sender)
+        direction = self._dir_ab if sender is self.a else self._dir_ba
+        serialization = packet.size_bytes * 8.0 / self.bandwidth_bps
+        start = max(self.sim.now, direction.busy_until)
+        direction.busy_until = start + serialization
+        arrival = direction.busy_until + self.delay_s
+        direction.packets += 1
+        direction.bytes += packet.size_bytes
+        packet.hops += 1
+        self.sim.schedule_at(arrival, receiver.receive, packet, far_port)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_packets(self) -> int:
+        return self._dir_ab.packets + self._dir_ba.packets
+
+    @property
+    def total_bytes(self) -> int:
+        return self._dir_ab.bytes + self._dir_ba.bytes
+
+    def reset_counters(self) -> None:
+        self._dir_ab = _Direction(busy_until=self._dir_ab.busy_until)
+        self._dir_ba = _Direction(busy_until=self._dir_ba.busy_until)
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.a.name}:{self.a_port} <-> "
+            f"{self.b.name}:{self.b_port})"
+        )

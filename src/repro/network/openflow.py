@@ -1,0 +1,150 @@
+"""OpenFlow-style control messages.
+
+PLEROMA "follows the widely accepted OpenFlow standard to perform such
+updates" (Sec. 2).  This module models the subset of the protocol the
+middleware exercises: flow modifications (add/modify/delete), barriers for
+ordering, packet-in diversion of ``IP_pub/sub`` traffic, packet-out for
+controller-originated packets (used to reach neighbouring partitions
+through border switches), and a features handshake exposing the switch's
+table capacity (the TCAM budget of requirement 3).
+
+Messages are plain immutable values; the transport lives in
+:mod:`repro.network.control_channel`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.addressing import MulticastPrefix
+from repro.network.flow import FlowEntry
+from repro.network.packet import Packet
+
+__all__ = [
+    "FlowModCommand",
+    "OpenFlowMessage",
+    "FlowMod",
+    "BarrierRequest",
+    "BarrierReply",
+    "PacketIn",
+    "PacketOut",
+    "FeaturesRequest",
+    "FeaturesReply",
+    "EchoRequest",
+    "EchoReply",
+    "ErrorMessage",
+]
+
+_xids = itertools.count(1)
+
+
+def _next_xid() -> int:
+    return next(_xids)
+
+
+class FlowModCommand(enum.Enum):
+    """The three table operations the controller issues."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class OpenFlowMessage:
+    """Base class: every message carries a transaction id."""
+
+    xid: int = field(default_factory=_next_xid, kw_only=True)
+
+
+@dataclass(frozen=True)
+class FlowMod(OpenFlowMessage):
+    """Install, modify or delete one flow entry.
+
+    ``entry`` carries the match/priority/instruction set for ADD and
+    MODIFY; DELETE identifies the doomed flow by ``match`` alone.
+    """
+
+    command: FlowModCommand
+    entry: Optional[FlowEntry] = None
+    match: Optional[MulticastPrefix] = None
+
+    def __post_init__(self) -> None:
+        if self.command is FlowModCommand.DELETE:
+            if self.match is None:
+                raise ValueError("DELETE needs a match field")
+        elif self.entry is None:
+            raise ValueError(f"{self.command.value} needs a flow entry")
+
+
+@dataclass(frozen=True)
+class BarrierRequest(OpenFlowMessage):
+    """Fence: the switch replies only after all earlier messages applied."""
+
+
+@dataclass(frozen=True)
+class BarrierReply(OpenFlowMessage):
+    """Acknowledges a barrier (same xid as the request)."""
+
+
+@dataclass(frozen=True)
+class PacketIn(OpenFlowMessage):
+    """A data-plane packet diverted to the controller.
+
+    PLEROMA switches send every ``IP_pub/sub`` packet up (reason
+    ``pubsub``); a table miss would use reason ``no_match`` (the data plane
+    never punts events, so this reason only appears in tests).
+    """
+
+    switch: str
+    in_port: int
+    packet: Packet
+    reason: str = "pubsub"
+
+
+@dataclass(frozen=True)
+class PacketOut(OpenFlowMessage):
+    """A controller-originated packet sent out of a specific port.
+
+    This is how a controller reaches the (anonymous) controller of an
+    adjoining partition: out through a border switch port, addressed to
+    ``IP_pub/sub`` (Sec. 4.1).
+    """
+
+    out_port: int
+    packet: Packet
+
+
+@dataclass(frozen=True)
+class FeaturesRequest(OpenFlowMessage):
+    """Handshake: ask a switch for its identity and capabilities."""
+
+
+@dataclass(frozen=True)
+class FeaturesReply(OpenFlowMessage):
+    """The switch's identity, port count and TCAM capacity."""
+
+    datapath: str
+    ports: tuple[int, ...]
+    table_capacity: int
+
+
+@dataclass(frozen=True)
+class EchoRequest(OpenFlowMessage):
+    """Liveness probe."""
+
+
+@dataclass(frozen=True)
+class EchoReply(OpenFlowMessage):
+    """Echo response (same xid)."""
+
+
+@dataclass(frozen=True)
+class ErrorMessage(OpenFlowMessage):
+    """Reported when a message cannot be applied (e.g. table full)."""
+
+    failed_xid: int = 0
+    reason: str = ""

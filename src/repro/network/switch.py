@@ -1,0 +1,137 @@
+"""The OpenFlow switch model.
+
+A switch owns a TCAM :class:`~repro.network.flow.FlowTable` and a set of
+numbered ports, each attached to a :class:`~repro.network.link.Link`.  Data
+packets are matched against the table — in constant time regardless of
+occupancy, as the hardware micro-benchmarks the paper cites [5] establish —
+and the single highest-priority matching entry's instruction set is executed
+(forwarding, optionally rewriting the destination address on terminal
+switches, Fig. 3).
+
+Packets addressed to the reserved ``IP_pub/sub`` address never match a flow
+(Sec. 2: "No switch will install a flow with respect to IP_pub/sub") and are
+handed to the controller over the control channel instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.addressing import PUBSUB_CONTROL_ADDRESS
+from repro.exceptions import TopologyError
+from repro.network.flow import FlowTable
+from repro.network.link import Link
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+
+__all__ = ["Switch", "DEFAULT_LOOKUP_DELAY_S"]
+
+#: Constant TCAM lookup + forwarding-engine latency per packet.  4 us puts
+#: a multi-hop software-switch path in the paper's measured ~1 ms regime
+#: once link and host costs are added.
+DEFAULT_LOOKUP_DELAY_S = 4e-6
+
+ControlHandler = Callable[["Switch", Packet, int], None]
+
+
+class Switch:
+    """A simulated SDN switch."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        table_capacity: int = 180_000,
+        lookup_delay_s: float = DEFAULT_LOOKUP_DELAY_S,
+        lookup_jitter_s: float = 1e-6,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.table = FlowTable(capacity=table_capacity)
+        self.lookup_delay_s = lookup_delay_s
+        self.lookup_jitter_s = lookup_jitter_s
+        self._rng = rng if rng is not None else random.Random(hash(name) & 0xFFFF)
+        self._ports: dict[int, Link] = {}
+        self._control_handler: Optional[ControlHandler] = None
+        # statistics
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.packets_to_controller = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_link(self, port: int, link: Link) -> None:
+        """Connect a link to a local port (done by the topology builder)."""
+        if port in self._ports:
+            raise TopologyError(f"{self.name}: port {port} already in use")
+        self._ports[port] = link
+
+    def set_control_handler(self, handler: ControlHandler) -> None:
+        """Register the controller callback for ``IP_pub/sub`` packets."""
+        self._control_handler = handler
+
+    @property
+    def ports(self) -> dict[int, Link]:
+        return dict(self._ports)
+
+    def port_to(self, neighbor_name: str) -> int:
+        """The local port leading to a named neighbor."""
+        for port, link in self._ports.items():
+            far, _ = link.endpoint_for(self)
+            if far.name == neighbor_name:
+                return port
+        raise TopologyError(f"{self.name} has no port to {neighbor_name}")
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Handle an arriving packet: control diversion or TCAM forwarding."""
+        self.packets_received += 1
+        if packet.dst_address == PUBSUB_CONTROL_ADDRESS:
+            self.packets_to_controller += 1
+            if self._control_handler is not None:
+                self._control_handler(self, packet, in_port)
+            return
+        entry = self.table.lookup(packet.dst_address)
+        if entry is None:
+            # A table miss for an event means no subscriber is reachable via
+            # this switch for that subspace — the packet is discarded (we do
+            # not punt data packets to the controller).
+            self.packets_dropped += 1
+            return
+        delay = self.lookup_delay_s
+        if self.lookup_jitter_s:
+            delay += self._rng.uniform(0.0, self.lookup_jitter_s)
+        for action in entry.actions:
+            if action.out_port == in_port and action.set_dest is None:
+                continue  # never bounce a packet back out its ingress port
+            link = self._ports.get(action.out_port)
+            if link is None:
+                self.packets_dropped += 1
+                continue
+            outgoing = (
+                packet.with_destination(action.set_dest)
+                if action.set_dest is not None
+                else packet.with_destination(packet.dst_address)
+            )
+            self.packets_forwarded += 1
+            self.sim.schedule(delay, link.transmit, self, outgoing)
+
+    # ------------------------------------------------------------------
+    def send_via_port(self, port: int, packet: Packet) -> None:
+        """Transmit directly out of a port (used by controllers to reach
+        neighbouring partitions through border switches, Sec. 4.1)."""
+        link = self._ports.get(port)
+        if link is None:
+            raise TopologyError(f"{self.name}: no link on port {port}")
+        link.transmit(self, packet)
+
+    def __repr__(self) -> str:
+        return f"Switch({self.name}, flows={len(self.table)})"

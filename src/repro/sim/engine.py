@@ -1,0 +1,121 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+The network substrate (switches, links, hosts) and the control plane run on
+this engine.  It is a classic calendar queue: callbacks scheduled at absolute
+times, executed in time order, with FIFO tie-breaking via a monotonically
+increasing sequence number so runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A pending callback in the event queue."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (lazy deletion)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with absolute time in seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (for tests and stats)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled callbacks still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledEvent:
+        """Run ``callback(*args)`` after ``delay`` seconds of sim time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past ({delay=})")
+        event = ScheduledEvent(
+            time=self._now + delay,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledEvent:
+        """Run ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self.schedule(time - self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the clock at an absolute time (events beyond it stay
+        queued and ``now`` is advanced to ``until``); ``max_events`` bounds
+        the number of executed callbacks (a runaway guard for tests).
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = max(self._now, until)
+                return
+            self.step()
+            executed += 1
+        if until is not None:
+            self._now = max(self._now, until)

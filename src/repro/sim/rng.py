@@ -1,0 +1,79 @@
+"""Seeded randomness helpers.
+
+Every stochastic component (workload generators, jitter models) draws from an
+explicitly seeded :class:`random.Random` or :class:`numpy.random.Generator`
+so that simulations are reproducible.  This module centralises construction
+and provides the zipfian sampler used by the interest-popularity workload
+(Sec. 6.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["make_rng", "make_numpy_rng", "ZipfSampler"]
+
+
+def make_rng(seed: int | None = 0) -> random.Random:
+    """A standalone standard-library RNG (never the global one)."""
+    return random.Random(seed)
+
+
+def make_numpy_rng(seed: int | None = 0) -> np.random.Generator:
+    """A standalone numpy generator for vectorised sampling."""
+    return np.random.default_rng(seed)
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with probability proportional to 1/(r+1)^s.
+
+    This is the bounded zipfian distribution the paper uses to pick hotspot
+    regions ("interest popularity model", Sec. 6.1).  Unlike
+    ``numpy.random.zipf`` it has bounded support, which is what choosing
+    among exactly 7 hotspots requires.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0, rng: random.Random | None = None):
+        if n < 1:
+            raise WorkloadError(f"zipf support size must be >= 1, got {n}")
+        if exponent <= 0:
+            raise WorkloadError(f"zipf exponent must be > 0, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng if rng is not None else make_rng(0)
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+        total = sum(weights)
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    def sample(self) -> int:
+        """Draw one rank."""
+        u = self._rng.random()
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def sample_many(self, count: int) -> list[int]:
+        """Draw ``count`` i.i.d. ranks."""
+        return [self.sample() for _ in range(count)]
+
+    def probabilities(self) -> Sequence[float]:
+        """The probability of each rank (for tests)."""
+        probs = [self._cumulative[0]]
+        for i in range(1, self.n):
+            probs.append(self._cumulative[i] - self._cumulative[i - 1])
+        return probs

@@ -1,0 +1,26 @@
+"""Workload generation: uniform and zipfian interest-popularity models."""
+
+from repro.workloads.generators import Hotspot, UniformWorkload, ZipfianWorkload
+from repro.workloads.trace import Trace, TraceOp, TraceRecorder, TraceReplayer
+from repro.workloads.scenarios import (
+    ZIPFIAN_TYPE_RESTRICTIONS,
+    paper_space,
+    paper_uniform,
+    paper_zipfian,
+    zipfian_type,
+)
+
+__all__ = [
+    "Hotspot",
+    "UniformWorkload",
+    "ZipfianWorkload",
+    "paper_space",
+    "paper_uniform",
+    "paper_zipfian",
+    "zipfian_type",
+    "ZIPFIAN_TYPE_RESTRICTIONS",
+    "Trace",
+    "TraceOp",
+    "TraceRecorder",
+    "TraceReplayer",
+]

@@ -1,0 +1,207 @@
+"""Workload generators for the evaluation (Sec. 6.1).
+
+Two distribution models, as in the paper:
+
+* **uniform** — subscriptions and events drawn independently and uniformly
+  over the event space;
+* **interest popularity (zipfian)** — 7 hotspot regions; each subscription
+  and event picks a hotspot with zipfian probability and is generated
+  around it.
+
+For the dimension-selection experiment (Fig. 7e) the zipfian generator
+additionally supports *variance restrictions*: per-dimension scale factors
+that confine hotspot placement and event spread along chosen dimensions,
+"modelling varying selectivity across different dimensions of [the] event
+space".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.events import Event, EventSpace
+from repro.core.subscription import Advertisement, Filter, Subscription
+from repro.exceptions import WorkloadError
+from repro.sim.rng import ZipfSampler, make_rng
+
+__all__ = ["UniformWorkload", "ZipfianWorkload", "Hotspot"]
+
+
+def _clip(value: float, low: float, high: float) -> float:
+    return max(low, min(value, high))
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One interest-popularity region: a centre point in raw coordinates."""
+
+    center: tuple[float, ...]
+
+
+class _WorkloadBase:
+    """Common helpers shared by the two distribution models."""
+
+    def __init__(self, space: EventSpace, seed: int, width_fraction: float):
+        if not 0.0 < width_fraction <= 1.0:
+            raise WorkloadError(
+                f"width_fraction must be in (0, 1], got {width_fraction}"
+            )
+        self.space = space
+        self.rng: random.Random = make_rng(seed)
+        self.width_fraction = width_fraction
+        self._event_counter = 0
+
+    def _next_event_id(self) -> int:
+        self._event_counter += 1
+        return self._event_counter
+
+    def _range_around(
+        self, attr_index: int, center: float, width_fraction: float
+    ) -> tuple[float, float]:
+        attr = self.space.attributes[attr_index]
+        span = (attr.high - attr.low) * width_fraction
+        low = _clip(center - span / 2.0, attr.low, attr.high - attr.grain - 1e-9)
+        high = _clip(low + span, low, attr.high - attr.grain - 1e-9)
+        return (low, high)
+
+    def subscriptions(self, count: int) -> list[Subscription]:
+        return [self.subscription() for _ in range(count)]
+
+    def events(self, count: int) -> list[Event]:
+        return [self.event() for _ in range(count)]
+
+    def subscription(self) -> Subscription:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def event(self) -> Event:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def advertisement_covering_all(self) -> Advertisement:
+        """An advertisement spanning the whole space (for single-publisher
+        experiments where the publisher may emit any event)."""
+        return Advertisement(filter=Filter.of())
+
+
+class UniformWorkload(_WorkloadBase):
+    """Random subscriptions and events, independent of each other."""
+
+    def __init__(
+        self,
+        space: EventSpace,
+        seed: int = 0,
+        width_fraction: float = 0.125,
+        constrained_dimensions: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(space, seed, width_fraction)
+        names = (
+            tuple(constrained_dimensions)
+            if constrained_dimensions is not None
+            else space.names
+        )
+        for name in names:
+            if name not in space:
+                raise WorkloadError(f"unknown dimension {name!r}")
+        self.constrained_dimensions = names
+
+    def subscription(self) -> Subscription:
+        ranges = {}
+        for name in self.constrained_dimensions:
+            idx = self.space.index_of(name)
+            attr = self.space.attributes[idx]
+            center = self.rng.uniform(attr.low, attr.high)
+            ranges[name] = self._range_around(idx, center, self.width_fraction)
+        return Subscription.of(**ranges)
+
+    def event(self) -> Event:
+        values = {
+            attr.name: self.rng.uniform(attr.low, attr.high - 1e-9)
+            for attr in self.space.attributes
+        }
+        return Event(values=values, event_id=self._next_event_id())
+
+
+class ZipfianWorkload(_WorkloadBase):
+    """The interest-popularity model: zipfian choice among hotspots.
+
+    ``variance_scale`` maps dimension names to a factor in ``(0, 1]``
+    restricting both hotspot placement and event spread along that
+    dimension (1.0 = unrestricted, small values pin the dimension near the
+    domain centre).  Dimensions absent from the mapping are unrestricted.
+    """
+
+    def __init__(
+        self,
+        space: EventSpace,
+        seed: int = 0,
+        hotspots: int = 7,
+        exponent: float = 1.0,
+        width_fraction: float = 0.125,
+        event_spread_fraction: float = 0.05,
+        variance_scale: Mapping[str, float] | None = None,
+    ) -> None:
+        super().__init__(space, seed, width_fraction)
+        if hotspots < 1:
+            raise WorkloadError("need at least one hotspot")
+        if not 0.0 < event_spread_fraction <= 1.0:
+            raise WorkloadError("event_spread_fraction must be in (0, 1]")
+        self.variance_scale = dict(variance_scale or {})
+        for name, scale in self.variance_scale.items():
+            if name not in space:
+                raise WorkloadError(f"unknown dimension {name!r}")
+            if not 0.0 < scale <= 1.0:
+                raise WorkloadError(
+                    f"variance scale for {name!r} must be in (0, 1]"
+                )
+        self.event_spread_fraction = event_spread_fraction
+        self.sampler = ZipfSampler(hotspots, exponent=exponent, rng=self.rng)
+        self.hotspots: list[Hotspot] = [
+            self._make_hotspot() for _ in range(hotspots)
+        ]
+
+    def _scale_for(self, name: str) -> float:
+        return self.variance_scale.get(name, 1.0)
+
+    def _make_hotspot(self) -> Hotspot:
+        center = []
+        for attr in self.space.attributes:
+            scale = self._scale_for(attr.name)
+            mid = (attr.low + attr.high) / 2.0
+            half_span = (attr.high - attr.low) / 2.0 * scale
+            center.append(self.rng.uniform(mid - half_span, mid + half_span))
+        return Hotspot(center=tuple(center))
+
+    def pick_hotspot(self) -> Hotspot:
+        return self.hotspots[self.sampler.sample()]
+
+    def subscription(self, hotspot: Hotspot | None = None) -> Subscription:
+        """A subscription *around* a hotspot: the box centre is jittered by
+        the same spread as the event traffic, so subscriptions for one
+        hotspot overlap heavily but are not identical."""
+        hotspot = hotspot if hotspot is not None else self.pick_hotspot()
+        ranges = {}
+        for idx, attr in enumerate(self.space.attributes):
+            spread = (
+                (attr.high - attr.low)
+                * self.event_spread_fraction
+                * self._scale_for(attr.name)
+            )
+            center = hotspot.center[idx] + self.rng.gauss(0.0, spread)
+            ranges[attr.name] = self._range_around(
+                idx, center, self.width_fraction
+            )
+        return Subscription.of(**ranges)
+
+    def event(self, hotspot: Hotspot | None = None) -> Event:
+        hotspot = hotspot if hotspot is not None else self.pick_hotspot()
+        values = {}
+        for idx, attr in enumerate(self.space.attributes):
+            spread = (
+                (attr.high - attr.low)
+                * self.event_spread_fraction
+                * self._scale_for(attr.name)
+            )
+            value = hotspot.center[idx] + self.rng.gauss(0.0, spread)
+            values[attr.name] = _clip(value, attr.low, attr.high - 1e-9)
+        return Event(values=values, event_id=self._next_event_id())

@@ -1,0 +1,63 @@
+"""Preset workloads matching the paper's evaluation setups (Sec. 6)."""
+
+from __future__ import annotations
+
+from repro.core.events import EventSpace
+from repro.exceptions import WorkloadError
+from repro.workloads.generators import UniformWorkload, ZipfianWorkload
+
+__all__ = [
+    "paper_space",
+    "paper_uniform",
+    "paper_zipfian",
+    "zipfian_type",
+    "ZIPFIAN_TYPE_RESTRICTIONS",
+]
+
+
+def paper_space(dimensions: int = 10) -> EventSpace:
+    """The evaluation schema: up to 10 attributes over [0, 1023]."""
+    return EventSpace.paper_schema(dimensions)
+
+
+def paper_uniform(
+    dimensions: int = 10, seed: int = 0, width_fraction: float = 0.125
+) -> UniformWorkload:
+    """The uniform distribution model of Sec. 6.1."""
+    return UniformWorkload(
+        paper_space(dimensions), seed=seed, width_fraction=width_fraction
+    )
+
+
+def paper_zipfian(
+    dimensions: int = 10, seed: int = 0, width_fraction: float = 0.125
+) -> ZipfianWorkload:
+    """The interest-popularity model: 7 hotspots, zipfian popularity."""
+    return ZipfianWorkload(
+        paper_space(dimensions),
+        seed=seed,
+        hotspots=7,
+        width_fraction=width_fraction,
+    )
+
+
+#: Per-type variance restrictions for the Fig. 7(e) experiment over a
+#: 7-dimensional space.  Type 1 confines event variance to 2 informative
+#: dimensions, type 2 to 4; type 3 leaves all dimensions informative.
+ZIPFIAN_TYPE_RESTRICTIONS: dict[int, dict[str, float]] = {
+    1: {f"attr{i}": 0.02 for i in range(2, 7)},
+    2: {f"attr{i}": 0.02 for i in range(4, 7)},
+    3: {},
+}
+
+
+def zipfian_type(type_id: int, seed: int = 0) -> ZipfianWorkload:
+    """One of the three variance-restricted zipfian workloads (Fig. 7e)."""
+    if type_id not in ZIPFIAN_TYPE_RESTRICTIONS:
+        raise WorkloadError(f"zipfian workload type must be 1..3, got {type_id}")
+    return ZipfianWorkload(
+        paper_space(7),
+        seed=seed,
+        hotspots=7,
+        variance_scale=ZIPFIAN_TYPE_RESTRICTIONS[type_id],
+    )

@@ -1,0 +1,101 @@
+"""Tests for the TCAM occupancy guard with auto-coarsening (requirement 3)."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Subscription
+from repro.exceptions import ControllerError
+from repro.middleware.pleroma import Pleroma
+from repro.network.fabric import NetworkParams
+from repro.network.topology import line
+from repro.workloads.scenarios import paper_zipfian
+
+
+def build(capacity=80, auto=True, threshold=0.6, subs=30, dims=2):
+    workload = paper_zipfian(dimensions=dims, seed=111)
+    middleware = Pleroma(
+        line(4),
+        space=workload.space,
+        max_dz_length=16,
+        max_cells=16,
+        params=NetworkParams(switch_table_capacity=capacity),
+        auto_coarsen=auto,
+        occupancy_threshold=threshold,
+    )
+    hosts = middleware.topology.hosts()
+    middleware.advertise(hosts[0], workload.advertisement_covering_all())
+    for i, sub in enumerate(workload.subscriptions(subs)):
+        middleware.subscribe(hosts[1 + i % 3], sub)
+    return middleware, workload
+
+
+class TestGuard:
+    def test_coarsen_triggered_when_tables_fill(self):
+        middleware, _ = build()
+        controller = middleware.controllers[0]
+        assert controller.coarsen_events, "guard never fired"
+        for old, new in controller.coarsen_events:
+            assert new < old
+        assert (
+            controller.indexer.max_dz_length
+            == controller.coarsen_events[-1][1]
+        )
+
+    def test_occupancy_brought_below_capacity(self):
+        middleware, _ = build()
+        for switch in middleware.network.switches.values():
+            assert len(switch.table) < switch.table.capacity
+
+    def test_facade_indexer_follows(self):
+        middleware, _ = build()
+        assert (
+            middleware.indexer.max_dz_length
+            == middleware.controllers[0].indexer.max_dz_length
+        )
+
+    def test_no_coarsen_when_disabled(self):
+        middleware, _ = build(auto=False)
+        assert middleware.controllers[0].coarsen_events == []
+
+    def test_no_coarsen_with_headroom(self):
+        middleware, _ = build(capacity=100_000)
+        assert middleware.controllers[0].coarsen_events == []
+
+    def test_delivery_still_correct_after_coarsening(self):
+        """Coarsening trades false positives, never false negatives."""
+        middleware, workload = build()
+        assert middleware.controllers[0].coarsen_events
+        hosts = middleware.topology.hosts()
+        controller = middleware.controllers[0]
+        # pick any installed subscription and publish a matching event
+        state = next(iter(controller.subscriptions.values()))
+        sub = state.subscription
+        pred = sub.filter.predicates["attr0"]
+        event_values = {}
+        for name, p in sub.filter.predicates.items():
+            event_values[name] = (p.low + p.high) / 2.0
+        client_host = state.endpoint.name
+        client = middleware.subscriber(client_host)
+        client._subscriptions[state.sub_id] = sub
+        middleware.publish(hosts[0], Event.of(**event_values))
+        middleware.run()
+        assert len(client.matched) == 1
+
+    def test_respects_min_dz_length(self):
+        middleware, workload = build(capacity=60, threshold=0.5, subs=60)
+        controller = middleware.controllers[0]
+        assert controller.indexer.max_dz_length >= controller.min_dz_length
+
+    def test_invalid_parameters(self):
+        from repro.controller.controller import PleromaController
+        from repro.core.spatial_index import SpatialIndexer
+        from repro.core.events import EventSpace
+        from repro.network.fabric import Network
+        from repro.sim.engine import Simulator
+
+        net = Network(Simulator(), line(2))
+        indexer = SpatialIndexer(EventSpace.paper_schema(1))
+        with pytest.raises(ControllerError):
+            PleromaController(net, indexer, occupancy_threshold=0.0)
+        with pytest.raises(ControllerError):
+            PleromaController(net, indexer, min_dz_length=0)

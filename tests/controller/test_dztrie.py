@@ -1,0 +1,99 @@
+"""Unit tests for the dz-trie contribution store."""
+
+from repro.controller.dztrie import DzTrie
+from repro.core.dz import ROOT, Dz
+from repro.network.flow import Action
+
+
+class TestRefCounting:
+    def test_add_first_holder_changes(self):
+        trie = DzTrie()
+        assert trie.add(Dz("10"), Action(2)) is True
+        assert trie.add(Dz("10"), Action(2)) is False
+        assert len(trie) == 1
+
+    def test_remove_last_holder_changes(self):
+        trie = DzTrie()
+        trie.add(Dz("10"), Action(2))
+        trie.add(Dz("10"), Action(2))
+        assert trie.remove(Dz("10"), Action(2)) is False
+        assert trie.remove(Dz("10"), Action(2)) is True
+        assert len(trie) == 0
+
+    def test_remove_missing_is_noop(self):
+        assert DzTrie().remove(Dz("10"), Action(2)) is False
+
+    def test_actions_at(self):
+        trie = DzTrie()
+        trie.add(Dz("10"), Action(2))
+        trie.add(Dz("10"), Action(3))
+        assert trie.actions_at(Dz("10")) == {Action(2), Action(3)}
+        assert trie.actions_at(Dz("11")) == frozenset()
+
+
+class TestQueries:
+    def test_cumulative_walks_ancestors(self):
+        trie = DzTrie()
+        trie.add(ROOT, Action(1))
+        trie.add(Dz("1"), Action(2))
+        trie.add(Dz("10"), Action(3))
+        trie.add(Dz("11"), Action(4))  # sibling: not on the path
+        assert trie.cumulative(Dz("10")) == {Action(1), Action(2), Action(3)}
+        assert trie.cumulative(Dz("100")) == {Action(1), Action(2), Action(3)}
+        assert trie.cumulative(ROOT) == {Action(1)}
+
+    def test_desired_entry_redundant(self):
+        trie = DzTrie()
+        trie.add(Dz("1"), Action(2))
+        trie.add(Dz("10"), Action(2))  # implied by the coarser contribution
+        assert trie.desired_entry(Dz("1")) == {Action(2)}
+        assert trie.desired_entry(Dz("10")) is None
+
+    def test_desired_entry_accumulates(self):
+        trie = DzTrie()
+        trie.add(Dz("1"), Action(2))
+        trie.add(Dz("10"), Action(3))
+        assert trie.desired_entry(Dz("10")) == {Action(2), Action(3)}
+
+    def test_desired_entry_absent(self):
+        trie = DzTrie()
+        trie.add(Dz("1"), Action(2))
+        assert trie.desired_entry(Dz("0")) is None
+        assert trie.desired_entry(Dz("11")) is None  # no contribution there
+
+    def test_desired_entry_at_root(self):
+        trie = DzTrie()
+        trie.add(ROOT, Action(1))
+        assert trie.desired_entry(ROOT) == {Action(1)}
+
+    def test_descendants(self):
+        trie = DzTrie()
+        trie.add(Dz("1"), Action(1))
+        trie.add(Dz("10"), Action(2))
+        trie.add(Dz("101"), Action(3))
+        trie.add(Dz("0"), Action(4))
+        assert set(trie.descendants(Dz("1"))) == {Dz("10"), Dz("101")}
+        assert set(trie.descendants(ROOT)) == {
+            Dz("1"),
+            Dz("10"),
+            Dz("101"),
+            Dz("0"),
+        }
+        assert set(trie.descendants(Dz("101"))) == set()
+
+    def test_descendants_skip_empty_nodes(self):
+        trie = DzTrie()
+        trie.add(Dz("101"), Action(1))
+        trie.remove(Dz("101"), Action(1))
+        trie.add(Dz("1011"), Action(2))
+        assert set(trie.descendants(Dz("1"))) == {Dz("1011")}
+
+    def test_contributions_round_trip(self):
+        trie = DzTrie()
+        trie.add(Dz("0"), Action(1))
+        trie.add(Dz("11"), Action(2))
+        trie.add(Dz("11"), Action(3))
+        assert trie.contributions() == {
+            Dz("0"): frozenset({Action(1)}),
+            Dz("11"): frozenset({Action(2), Action(3)}),
+        }

@@ -1,0 +1,95 @@
+"""Direct tests for controller re-indexing (the Sec. 5 deployment step)."""
+
+import pytest
+
+from repro.core.events import Event, EventSpace
+from repro.core.spatial_index import SpatialIndexer
+from repro.core.subscription import Advertisement, Subscription
+from repro.network.topology import line
+from tests.helpers import make_system
+
+
+class TestReindex:
+    def _deployed_system(self):
+        system = make_system(line(4), dimensions=2, max_dz_length=12)
+        system.controller.advertise("h1", Advertisement.of())
+        system.controller.subscribe(
+            "h4", Subscription.of(attr0=(0, 255), attr1=(0, 255))
+        )
+        return system
+
+    def test_reindex_replaces_all_flows(self):
+        system = self._deployed_system()
+        controller = system.controller
+        coarse = SpatialIndexer(controller.indexer.space, max_dz_length=4)
+        controller.reindex(coarse)
+        assert controller.indexer is coarse
+        for switch in system.net.switches.values():
+            for entry in switch.table:
+                assert len(entry.dz) <= 4
+        controller.check_invariants()
+
+    def test_identities_preserved(self):
+        system = self._deployed_system()
+        controller = system.controller
+        adv_ids = set(controller.advertisements)
+        sub_ids = set(controller.subscriptions)
+        controller.reindex(
+            SpatialIndexer(controller.indexer.space, max_dz_length=6)
+        )
+        assert set(controller.advertisements) == adv_ids
+        assert set(controller.subscriptions) == sub_ids
+
+    def test_delivery_after_reindex(self):
+        system = self._deployed_system()
+        controller = system.controller
+        controller.reindex(
+            SpatialIndexer(controller.indexer.space, max_dz_length=4)
+        )
+        # publish with the *new* indexing, as notified publishers would
+        system.indexer = controller.indexer
+        system.publish("h1", Event.of(attr0=100, attr1=100))
+        system.run()
+        assert len(system.delivered_events("h4")) == 1
+
+    def test_listeners_notified(self):
+        system = self._deployed_system()
+        controller = system.controller
+        seen = []
+        controller.reindex_listeners.append(seen.append)
+        new_indexer = SpatialIndexer(
+            controller.indexer.space, max_dz_length=6
+        )
+        controller.reindex(new_indexer)
+        assert seen == [new_indexer]
+
+    def test_reindex_onto_restricted_space(self):
+        system = self._deployed_system()
+        controller = system.controller
+        reduced = EventSpace.paper_schema(2).restrict(["attr0"])
+        controller.reindex(SpatialIndexer(reduced, max_dz_length=8))
+        system.indexer = controller.indexer
+        system.publish("h1", Event.of(attr0=100, attr1=999))
+        system.run()
+        # attr1 is no longer filtered in-network: the event arrives even
+        # though attr1=999 misses the subscription's attr1 range — it is a
+        # false positive the host-side filter removes
+        assert len(system.delivered_events("h4")) == 1
+
+    def test_reindex_with_virtual_endpoints_replays_verbatim(self):
+        """Federated (virtual) requests carry DZ sets without filters and
+        must survive re-indexing unchanged."""
+        from repro.core.dzset import DzSet
+
+        system = self._deployed_system()
+        controller = system.controller
+        controller.register_virtual_endpoint("vh:R4:9", "R4", 9)
+        state = controller.subscribe(
+            "vh:R4:9", dz_set=DzSet.of("01"), _notify=False
+        )
+        controller.reindex(
+            SpatialIndexer(controller.indexer.space, max_dz_length=6)
+        )
+        replayed = controller.subscriptions[state.sub_id]
+        assert replayed.dz_set == DzSet.of("01")
+        assert replayed.endpoint.is_virtual

@@ -1,0 +1,93 @@
+"""Unit tests for spanning trees and tree routing."""
+
+import pytest
+
+from repro.controller.state import Endpoint
+from repro.controller.tree import SpanningTree
+from repro.core.dzset import DzSet
+from repro.exceptions import ControllerError
+
+
+def make_tree(**kwargs):
+    """A small tree:        R1 (root)
+                           /  \\
+                          R2   R3
+                          |
+                          R4
+    """
+    defaults = dict(
+        root="R1",
+        parents={"R2": "R1", "R3": "R1", "R4": "R2"},
+        dz_set=DzSet.of("1"),
+    )
+    defaults.update(kwargs)
+    return SpanningTree(**defaults)
+
+
+class TestValidation:
+    def test_valid_tree(self):
+        tree = make_tree()
+        assert tree.switches == {"R1", "R2", "R3", "R4"}
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ControllerError):
+            make_tree(parents={"R2": "R9"})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ControllerError):
+            make_tree(parents={"R2": "R3", "R3": "R2"})
+
+
+class TestPaths:
+    def test_path_to_root(self):
+        assert make_tree().path_to_root("R4") == ["R4", "R2", "R1"]
+        assert make_tree().path_to_root("R1") == ["R1"]
+
+    def test_path_to_root_unknown(self):
+        with pytest.raises(ControllerError):
+            make_tree().path_to_root("R9")
+
+    def test_path_between_through_lca(self):
+        assert make_tree().path_between("R4", "R3") == ["R4", "R2", "R1", "R3"]
+
+    def test_path_between_ancestor(self):
+        assert make_tree().path_between("R4", "R1") == ["R4", "R2", "R1"]
+        assert make_tree().path_between("R1", "R4") == ["R1", "R2", "R4"]
+
+    def test_path_between_same(self):
+        assert make_tree().path_between("R2", "R2") == ["R2"]
+
+    def test_path_between_siblings_below_root(self):
+        tree = SpanningTree(
+            root="R1",
+            parents={"R2": "R1", "R3": "R2", "R4": "R2"},
+            dz_set=DzSet.of("0"),
+        )
+        assert tree.path_between("R3", "R4") == ["R3", "R2", "R4"]
+
+
+class TestMembership:
+    def test_join_publisher_widens(self):
+        tree = make_tree()
+        ep = Endpoint("h1", "R1", 1, address=1)
+        tree.join_publisher(7, ep, DzSet.of("10"))
+        tree.join_publisher(7, ep, DzSet.of("11"))
+        assert tree.publishers[7].overlap == DzSet.of("1")
+
+    def test_join_subscriber_and_leave(self):
+        tree = make_tree()
+        ep = Endpoint("h2", "R2", 1, address=2)
+        tree.join_subscriber(9, ep, DzSet.of("1"))
+        assert 9 in tree.subscribers
+        tree.leave_subscriber(9)
+        assert 9 not in tree.subscribers
+
+    def test_leave_missing_is_noop(self):
+        make_tree().leave_publisher(123)
+
+    def test_member_narrow(self):
+        tree = make_tree()
+        ep = Endpoint("h1", "R1", 1, address=1)
+        tree.join_publisher(7, ep, DzSet.of("1"))
+        tree.publishers[7].narrow(DzSet.of("11"))
+        assert tree.publishers[7].overlap == DzSet.of("10")

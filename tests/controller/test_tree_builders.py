@@ -1,0 +1,118 @@
+"""Unit tests for pluggable tree-construction strategies."""
+
+import pytest
+
+from repro.controller.tree import SpanningTree
+from repro.controller.tree_builders import (
+    builder_by_name,
+    minimum_spanning_tree,
+    random_spanning_tree,
+    shortest_path_tree,
+)
+from repro.core.dzset import DzSet
+from repro.exceptions import ControllerError
+from repro.network.topology import paper_fat_tree, ring
+
+ALL_BUILDERS = [shortest_path_tree, minimum_spanning_tree, random_spanning_tree]
+
+
+@pytest.fixture
+def topo():
+    return paper_fat_tree()
+
+
+class TestAllBuilders:
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_produces_valid_spanning_tree(self, topo, builder):
+        parents = builder(topo, topo.switches(), "R7")
+        # SpanningTree validates connectivity and acyclicity
+        tree = SpanningTree(root="R7", parents=parents, dz_set=DzSet.of("0"))
+        assert tree.switches == set(topo.switches())
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_deterministic(self, topo, builder):
+        assert builder(topo, topo.switches(), "R7") == builder(
+            topo, topo.switches(), "R7"
+        )
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_respects_partition(self, builder):
+        topo = ring(6, hosts_per_switch=0)
+        partition = ["R1", "R2", "R3"]
+        parents = builder(topo, partition, "R2")
+        assert set(parents) | {"R2"} == set(partition)
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_unknown_root(self, topo, builder):
+        with pytest.raises(Exception):
+            builder(topo, topo.switches(), "R99")
+
+
+class TestStrategyDifferences:
+    def test_spt_minimises_depth(self, topo):
+        """SPT root paths never exceed graph distance; MST ones may."""
+        import networkx as nx
+
+        sg = topo.switch_graph()
+        dist = nx.single_source_shortest_path_length(sg, "R7")
+        spt = SpanningTree(
+            root="R7",
+            parents=shortest_path_tree(topo, topo.switches(), "R7"),
+            dz_set=DzSet.of("0"),
+        )
+        for node in topo.switches():
+            assert len(spt.path_to_root(node)) - 1 == dist[node]
+
+    def test_mst_shared_across_roots(self, topo):
+        """The MST builder reuses one physical tree for every root."""
+        edges_a = {
+            frozenset((c, p))
+            for c, p in minimum_spanning_tree(
+                topo, topo.switches(), "R7"
+            ).items()
+        }
+        edges_b = {
+            frozenset((c, p))
+            for c, p in minimum_spanning_tree(
+                topo, topo.switches(), "R10"
+            ).items()
+        }
+        assert edges_a == edges_b
+
+    def test_random_differs_across_roots(self, topo):
+        edges_a = {
+            frozenset((c, p))
+            for c, p in random_spanning_tree(
+                topo, topo.switches(), "R7"
+            ).items()
+        }
+        edges_b = {
+            frozenset((c, p))
+            for c, p in random_spanning_tree(
+                topo, topo.switches(), "R10"
+            ).items()
+        }
+        assert edges_a != edges_b
+
+
+class TestLookupAndIntegration:
+    def test_builder_by_name(self):
+        assert builder_by_name("spt") is shortest_path_tree
+        assert builder_by_name("mst") is minimum_spanning_tree
+        assert builder_by_name("random") is random_spanning_tree
+        with pytest.raises(ControllerError):
+            builder_by_name("steiner")
+
+    @pytest.mark.parametrize("name", ["spt", "mst", "random"])
+    def test_controller_delivers_with_any_builder(self, name):
+        from repro.core.events import Event
+        from repro.core.subscription import Advertisement, Subscription
+        from tests.helpers import make_system
+        from repro.network.topology import paper_fat_tree as pft
+
+        system = make_system(pft(), tree_builder=name)
+        system.controller.advertise("h1", Advertisement.of(attr0=(0, 1023)))
+        system.controller.subscribe("h8", Subscription.of(attr0=(0, 511)))
+        system.publish("h1", Event.of(attr0=100))
+        system.run()
+        assert len(system.delivered_events("h8")) == 1

@@ -1,0 +1,163 @@
+"""Unit tests for the dz-expression algebra."""
+
+import pytest
+
+from repro.core.dz import ROOT, Dz
+from repro.exceptions import SpatialIndexError
+
+
+class TestConstruction:
+    def test_root_is_empty(self):
+        assert ROOT.bits == ""
+        assert ROOT.is_root
+        assert len(ROOT) == 0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(SpatialIndexError):
+            Dz("012")
+
+    def test_from_value_round_trip(self):
+        dz = Dz.from_value(0b1011, 4)
+        assert dz.bits == "1011"
+        assert dz.value == 0b1011
+
+    def test_from_value_pads_leading_zeros(self):
+        assert Dz.from_value(1, 4).bits == "0001"
+
+    def test_from_value_zero_length(self):
+        assert Dz.from_value(0, 0) == ROOT
+
+    def test_from_value_overflow(self):
+        with pytest.raises(SpatialIndexError):
+            Dz.from_value(4, 2)
+
+    def test_from_value_negative(self):
+        with pytest.raises(SpatialIndexError):
+            Dz.from_value(-1, 4)
+
+    def test_str(self):
+        assert str(Dz("101")) == "101"
+        assert str(ROOT) == "<root>"
+
+
+class TestStructure:
+    def test_child(self):
+        assert Dz("10").child(1) == Dz("101")
+        assert ROOT.child(0) == Dz("0")
+
+    def test_child_rejects_bad_bit(self):
+        with pytest.raises(SpatialIndexError):
+            Dz("1").child(2)
+
+    def test_parent(self):
+        assert Dz("101").parent() == Dz("10")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(SpatialIndexError):
+            ROOT.parent()
+
+    def test_sibling(self):
+        assert Dz("100").sibling() == Dz("101")
+        assert Dz("101").sibling() == Dz("100")
+
+    def test_root_has_no_sibling(self):
+        with pytest.raises(SpatialIndexError):
+            ROOT.sibling()
+
+    def test_ancestors(self):
+        assert list(Dz("101").ancestors()) == [ROOT, Dz("1"), Dz("10")]
+
+    def test_truncate(self):
+        assert Dz("101101").truncate(3) == Dz("101")
+        assert Dz("10").truncate(5) == Dz("10")
+
+    def test_truncate_negative(self):
+        with pytest.raises(SpatialIndexError):
+            Dz("1").truncate(-1)
+
+
+class TestCovering:
+    """Paper Sec. 2 properties of dz-expressions."""
+
+    def test_root_covers_everything(self):
+        assert ROOT.covers(Dz("101101"))
+        assert ROOT.covers(ROOT)
+
+    def test_prefix_covers(self):
+        # dz=101 covers dz=101101 (the paper's ff0e example pair)
+        assert Dz("101").covers(Dz("101101"))
+        assert not Dz("101101").covers(Dz("101"))
+
+    def test_self_covering(self):
+        assert Dz("01").covers(Dz("01"))
+
+    def test_disjoint_do_not_cover(self):
+        assert not Dz("10").covers(Dz("11"))
+        assert not Dz("11").covers(Dz("10"))
+
+    def test_covered_by(self):
+        assert Dz("101101").covered_by(Dz("101"))
+
+    def test_overlap_symmetry(self):
+        assert Dz("0").overlaps(Dz("000"))
+        assert Dz("000").overlaps(Dz("0"))
+        assert not Dz("000").overlaps(Dz("001"))
+
+    def test_intersect_is_longer(self):
+        # property 3: the overlap is identified by the longest of the two
+        assert Dz("1").intersect(Dz("100")) == Dz("100")
+        assert Dz("100").intersect(Dz("1")) == Dz("100")
+
+    def test_intersect_disjoint_is_none(self):
+        assert Dz("01").intersect(Dz("10")) is None
+
+
+class TestSubtract:
+    def test_paper_example(self):
+        """Paper property 4: '0' minus '000' contains 001, 010 and 011.
+
+        Our representation returns the minimal form {001, 01}, which is the
+        same region (01 = 010 u 011).
+        """
+        remainder = Dz("0").subtract(Dz("000"))
+        assert set(remainder) == {Dz("001"), Dz("01")}
+
+    def test_subtract_disjoint(self):
+        assert Dz("01").subtract(Dz("10")) == [Dz("01")]
+
+    def test_subtract_covering_other(self):
+        assert Dz("000").subtract(Dz("0")) == []
+
+    def test_subtract_self(self):
+        assert Dz("101").subtract(Dz("101")) == []
+
+    def test_remainder_disjoint_from_subtrahend(self):
+        remainder = Dz("1").subtract(Dz("10110"))
+        for piece in remainder:
+            assert not piece.overlaps(Dz("10110"))
+
+    def test_remainder_plus_subtrahend_covers_original(self):
+        # measure check: |1| = 1/2; pieces + subtrahend must sum to 1/2
+        remainder = Dz("1").subtract(Dz("10110"))
+        total = sum(2.0 ** -len(p) for p in remainder) + 2.0 ** -5
+        assert total == pytest.approx(0.5)
+
+
+class TestCommonPrefix:
+    def test_common_prefix(self):
+        assert Dz("0000").common_prefix(Dz("0011")) == Dz("00")
+
+    def test_common_prefix_disjoint_at_root(self):
+        assert Dz("0").common_prefix(Dz("1")) == ROOT
+
+    def test_common_prefix_of_related(self):
+        assert Dz("00").common_prefix(Dz("0011")) == Dz("00")
+
+
+class TestOrdering:
+    def test_sort_is_deterministic(self):
+        dzs = [Dz("1"), Dz("0"), Dz("01"), Dz("")]
+        assert sorted(dzs) == [Dz(""), Dz("0"), Dz("01"), Dz("1")]
+
+    def test_hashable(self):
+        assert len({Dz("0"), Dz("0"), Dz("1")}) == 2

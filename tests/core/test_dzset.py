@@ -1,0 +1,130 @@
+"""Unit tests for canonical DZ sets."""
+
+import pytest
+
+from repro.core.dz import ROOT, Dz
+from repro.core.dzset import EMPTY, OMEGA, DzSet
+
+
+class TestCanonicalisation:
+    def test_removes_covered_members(self):
+        assert DzSet.of("1", "10", "101") == DzSet.of("1")
+
+    def test_merges_siblings(self):
+        assert DzSet.of("00", "01") == DzSet.of("0")
+
+    def test_merges_siblings_recursively(self):
+        assert DzSet.of("00", "01", "10", "11") == OMEGA
+
+    def test_paper_merge_example(self):
+        """Sec. 3.2: DZ {0000, 0010} u {0001, 0011} merges into {00}."""
+        merged = DzSet.of("0000", "0010").union(DzSet.of("0001", "0011"))
+        assert merged == DzSet.of("00")
+
+    def test_semantic_equality(self):
+        assert DzSet.of("0", "10") == DzSet.of("00", "01", "10")
+
+    def test_accepts_strings_and_dz(self):
+        assert DzSet.of(Dz("01"), "10") == DzSet.of("01", "10")
+
+
+class TestBasicProtocol:
+    def test_empty(self):
+        assert EMPTY.is_empty
+        assert not EMPTY
+        assert len(EMPTY) == 0
+
+    def test_iteration_sorted(self):
+        s = DzSet.of("11", "0", "100")
+        assert list(s) == [Dz("0"), Dz("11"), Dz("100")]
+
+    def test_full_cover_collapses_to_omega(self):
+        # {11, 0, 10}: 10 and 11 merge into 1, then 0 and 1 into the root
+        assert DzSet.of("11", "0", "10") == OMEGA
+
+    def test_contains(self):
+        assert Dz("0") in DzSet.of("0", "11")
+
+    def test_str(self):
+        assert str(DzSet.of("0")) == "{0}"
+
+
+class TestRegionAlgebra:
+    def test_covers_dz(self):
+        s = DzSet.of("0", "10")
+        assert s.covers_dz(Dz("010"))
+        assert s.covers_dz(Dz("10"))
+        assert not s.covers_dz(Dz("11"))
+        assert not s.covers_dz(ROOT)
+
+    def test_covers_dz_via_merged_siblings(self):
+        # 00 and 01 merge to 0, which covers 0 itself
+        assert DzSet.of("00", "01").covers_dz(Dz("0"))
+
+    def test_overlaps_dz(self):
+        s = DzSet.of("01")
+        assert s.overlaps_dz(Dz("0"))  # coarser
+        assert s.overlaps_dz(Dz("011"))  # finer
+        assert not s.overlaps_dz(Dz("00"))
+
+    def test_covers_set(self):
+        assert DzSet.of("0").covers(DzSet.of("00", "011"))
+        assert not DzSet.of("00").covers(DzSet.of("0"))
+
+    def test_overlaps_set(self):
+        assert DzSet.of("0").overlaps(DzSet.of("01", "11"))
+        assert not DzSet.of("00").overlaps(DzSet.of("01", "1"))
+
+    def test_intersect_dz(self):
+        s = DzSet.of("0", "11")
+        assert s.intersect_dz(Dz("01")) == DzSet.of("01")
+        assert s.intersect_dz(Dz("1")) == DzSet.of("11")
+        assert s.intersect_dz(Dz("10")) == EMPTY
+
+    def test_intersect_sets(self):
+        a = DzSet.of("0", "10")
+        b = DzSet.of("01", "1")
+        assert a.intersect(b) == DzSet.of("01", "10")
+
+    def test_intersect_with_omega(self):
+        a = DzSet.of("010", "111")
+        assert a.intersect(OMEGA) == a
+
+    def test_union(self):
+        assert DzSet.of("00").union(DzSet.of("01")) == DzSet.of("0")
+
+    def test_subtract_dz(self):
+        assert DzSet.of("0").subtract_dz(Dz("00")) == DzSet.of("01")
+
+    def test_subtract_sets_paper_uncovered(self):
+        """Alg. 1 line 10: advertisement {0} joining tree {00} leaves {01}."""
+        adv = DzSet.of("0")
+        tree = DzSet.of("00")
+        assert adv.subtract(tree) == DzSet.of("01")
+
+    def test_subtract_everything(self):
+        assert OMEGA.subtract(OMEGA) == EMPTY
+
+    def test_subtract_disjoint(self):
+        a = DzSet.of("00")
+        assert a.subtract(DzSet.of("01")) == a
+
+    def test_truncate(self):
+        assert DzSet.of("0000", "1111").truncate(2) == DzSet.of("00", "11")
+
+    def test_truncate_can_merge(self):
+        # truncation may collapse members into one coarser subspace
+        assert DzSet.of("000", "001").truncate(2) == DzSet.of("00")
+
+
+class TestMeasure:
+    def test_total_measure(self):
+        assert DzSet.of("0").total_measure() == pytest.approx(0.5)
+        assert DzSet.of("00", "01").total_measure() == pytest.approx(0.5)
+        assert OMEGA.total_measure() == pytest.approx(1.0)
+        assert EMPTY.total_measure() == 0.0
+
+    def test_coarsen_to_common_prefix(self):
+        assert DzSet.of("0000", "0010").coarsen_to_common_prefix() == Dz("00")
+        assert DzSet.of("0", "1").coarsen_to_common_prefix() == ROOT
+        assert EMPTY.coarsen_to_common_prefix() == ROOT

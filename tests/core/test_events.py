@@ -1,0 +1,106 @@
+"""Unit tests for the event-space schema and events."""
+
+import pytest
+
+from repro.core.events import Attribute, Event, EventSpace
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_defaults_match_paper_domain(self):
+        a = Attribute("price")
+        assert a.low == 0.0
+        assert a.high == 1024.0
+
+    def test_normalize(self):
+        a = Attribute("x", 0, 100)
+        assert a.normalize(0) == 0.0
+        assert a.normalize(50) == pytest.approx(0.5)
+
+    def test_normalize_out_of_domain(self):
+        a = Attribute("x", 0, 100)
+        with pytest.raises(SchemaError):
+            a.normalize(100)  # high end is exclusive
+        with pytest.raises(SchemaError):
+            a.normalize(-1)
+
+    def test_denormalize_round_trip(self):
+        a = Attribute("x", 10, 20)
+        assert a.denormalize(a.normalize(17.5)) == pytest.approx(17.5)
+
+    def test_invalid_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", 5, 5)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestEventSpace:
+    def test_of_bare_names(self):
+        space = EventSpace.of("a", "b")
+        assert space.dimensions == 2
+        assert space.names == ("a", "b")
+
+    def test_paper_schema(self):
+        space = EventSpace.paper_schema(10)
+        assert space.dimensions == 10
+        assert all(a.high == 1024.0 for a in space.attributes)
+
+    def test_paper_schema_bounds(self):
+        with pytest.raises(SchemaError):
+            EventSpace.paper_schema(0)
+        with pytest.raises(SchemaError):
+            EventSpace.paper_schema(27)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            EventSpace.of("a", "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            EventSpace(())
+
+    def test_index_of(self):
+        space = EventSpace.of("a", "b", "c")
+        assert space.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            space.index_of("nope")
+
+    def test_contains(self):
+        space = EventSpace.of("a")
+        assert "a" in space
+        assert "z" not in space
+
+    def test_restrict_preserves_order_given(self):
+        space = EventSpace.of("a", "b", "c")
+        reduced = space.restrict(["c", "a"])
+        assert reduced.names == ("c", "a")
+
+    def test_restrict_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            EventSpace.of("a").restrict(["b"])
+
+    def test_point_projection(self):
+        space = EventSpace.of(Attribute("a", 0, 100), Attribute("b", 0, 10))
+        event = Event.of(a=50, b=5, c=999)  # extra attr ignored
+        assert space.point(event) == pytest.approx((0.5, 0.5))
+
+    def test_point_on_restricted_space(self):
+        space = EventSpace.of(Attribute("a", 0, 100), Attribute("b", 0, 10))
+        reduced = space.restrict(["b"])
+        assert reduced.point(Event.of(a=1, b=5)) == pytest.approx((0.5,))
+
+
+class TestEvent:
+    def test_value_access(self):
+        e = Event.of(x=3.0)
+        assert e.value("x") == 3.0
+
+    def test_missing_attribute(self):
+        with pytest.raises(SchemaError):
+            Event.of(x=1.0).value("y")
+
+    def test_str_is_stable(self):
+        assert "x=1" in str(Event.of(event_id=7, x=1.0))

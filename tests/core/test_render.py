@@ -1,0 +1,91 @@
+"""Tests for the ASCII rendering helpers."""
+
+import pytest
+
+from repro.core.dzset import DzSet, EMPTY, OMEGA
+from repro.core.events import Attribute, EventSpace
+from repro.core.render import render_dz_tree, render_filter, render_region
+from repro.core.spatial_index import SpatialIndexer
+from repro.core.subscription import Filter
+from repro.exceptions import SpatialIndexError
+
+
+@pytest.fixture
+def indexer():
+    space = EventSpace.of(Attribute("A", 0, 100), Attribute("B", 0, 100))
+    return SpatialIndexer(space, max_dz_length=10)
+
+
+class TestRenderRegion:
+    def test_dimensions(self, indexer):
+        art = render_region(indexer, OMEGA, width=8, height=4)
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 8 for line in lines)
+
+    def test_omega_fills_everything(self, indexer):
+        art = render_region(indexer, OMEGA, width=8, height=4)
+        assert set(art) <= {"#", "\n"}
+
+    def test_empty_fills_nothing(self, indexer):
+        art = render_region(indexer, EMPTY, width=8, height=4)
+        assert set(art) <= {".", "\n"}
+
+    def test_left_half_space(self, indexer):
+        art = render_region(indexer, DzSet.of("0"), width=8, height=4)
+        for line in art.splitlines():
+            assert line == "####...."
+
+    def test_fig2_advertisement(self, indexer):
+        """Fig. 2: {100, 110} is the vertical band A in [50, 75)."""
+        art = render_region(indexer, DzSet.of("100", "110"), width=8, height=4)
+        for line in art.splitlines():
+            assert line == "....##.."
+
+    def test_bottom_left_quadrant_is_dz_00(self, indexer):
+        art = render_region(indexer, DzSet.of("00"), width=4, height=4)
+        lines = art.splitlines()
+        assert lines[0] == "...."  # top rows empty
+        assert lines[3] == "##.."  # bottom-left filled
+
+    def test_requires_2d(self):
+        indexer_3d = SpatialIndexer(EventSpace.paper_schema(3))
+        with pytest.raises(SpatialIndexError):
+            render_region(indexer_3d, OMEGA)
+
+    def test_bad_grid(self, indexer):
+        with pytest.raises(SpatialIndexError):
+            render_region(indexer, OMEGA, width=0)
+
+
+class TestRenderFilter:
+    def test_marks_fringe(self, indexer):
+        # a box not aligned to cell boundaries has a '+' fringe
+        art = render_filter(
+            indexer, Filter.of(A=(10, 40), B=(10, 40)), width=16, height=16
+        )
+        assert "#" in art
+        assert "+" in art
+        assert "." in art
+
+    def test_aligned_box_has_no_fringe(self, indexer):
+        art = render_filter(
+            indexer, Filter.of(A=(0, 49.999), B=(0, 49.999)), width=8, height=8
+        )
+        assert "+" not in art
+
+
+class TestRenderTree:
+    def test_structure(self):
+        art = render_dz_tree(DzSet.of("00", "101"))
+        lines = art.splitlines()
+        assert lines[0] == "<root>"
+        assert "  0" in lines
+        assert "    00 *" in lines
+        assert "      101 *" in lines
+
+    def test_root_member(self):
+        assert render_dz_tree(OMEGA) == "<root> *"
+
+    def test_empty(self):
+        assert render_dz_tree(EMPTY) == "<root>"

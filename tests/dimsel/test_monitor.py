@@ -1,0 +1,78 @@
+"""Unit tests for the traffic monitor and re-selection driver."""
+
+import pytest
+
+from repro.core.events import Event, EventSpace
+from repro.core.subscription import Subscription
+from repro.dimsel.monitor import TrafficMonitor
+from repro.exceptions import WorkloadError
+from repro.workloads.scenarios import zipfian_type
+
+
+@pytest.fixture
+def space():
+    return EventSpace.paper_schema(3)
+
+
+def feed(monitor, count=50):
+    import random
+
+    rng = random.Random(3)
+    for _ in range(count):
+        monitor.record_event(
+            Event.of(
+                attr0=rng.uniform(0, 1023),
+                attr1=1.0,
+                attr2=1.0,
+            )
+        )
+
+
+class TestWindow:
+    def test_window_bounded(self, space):
+        monitor = TrafficMonitor(space, window_size=10)
+        feed(monitor, 25)
+        assert len(monitor.window) == 10
+
+    def test_invalid_window(self, space):
+        with pytest.raises(WorkloadError):
+            TrafficMonitor(space, window_size=0)
+
+    def test_reselect_requires_events(self, space):
+        monitor = TrafficMonitor(space)
+        with pytest.raises(WorkloadError):
+            monitor.reselect([Subscription.of()])
+
+
+class TestReselect:
+    def test_produces_restricted_indexer(self, space):
+        monitor = TrafficMonitor(space, max_dz_length=12)
+        feed(monitor)
+        received = []
+        monitor.on_reselect(lambda idx, sel: received.append((idx, sel)))
+        subs = [
+            Subscription.of(attr0=(i * 100, i * 100 + 99)) for i in range(8)
+        ]
+        selection = monitor.reselect(subs, k=1)
+        assert selection.selected == ("attr0",)
+        assert len(received) == 1
+        indexer, _ = received[0]
+        assert indexer.space.names == ("attr0",)
+        assert indexer.max_dz_length == 12
+
+    def test_rounds_counted(self, space):
+        monitor = TrafficMonitor(space)
+        feed(monitor)
+        subs = [Subscription.of(attr0=(0, 99))]
+        monitor.reselect(subs, k=1)
+        monitor.reselect(subs, k=2)
+        assert monitor.rounds == 2
+        assert monitor.last_selection.k == 2
+
+    def test_end_to_end_with_zipfian_type(self):
+        wl = zipfian_type(1, seed=21)
+        monitor = TrafficMonitor(wl.space, window_size=200)
+        for event in wl.events(200):
+            monitor.record_event(event)
+        selection = monitor.reselect(wl.subscriptions(40), k=2)
+        assert set(selection.selected) <= {"attr0", "attr1"}

@@ -1,0 +1,139 @@
+"""Unit tests for spectral dimension selection (Sec. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, EventSpace
+from repro.core.subscription import Subscription
+from repro.dimsel.selection import build_match_matrix, select_dimensions
+from repro.exceptions import SchemaError, WorkloadError
+from repro.workloads.scenarios import zipfian_type
+
+
+@pytest.fixture
+def space():
+    return EventSpace.paper_schema(3)
+
+
+def subs_selective_on(name, count=5, width=100):
+    """Subscriptions selective on one attribute, open on the rest."""
+    return [
+        Subscription.of(**{name: (i * width, i * width + width - 1)})
+        for i in range(count)
+    ]
+
+
+class TestMatchMatrix:
+    def test_shape(self, space):
+        subs = subs_selective_on("attr0")
+        events = [Event.of(attr0=10, attr1=10, attr2=10)]
+        w = build_match_matrix(space, subs, events)
+        assert w.shape == (3, 1)
+
+    def test_unconstrained_dimension_matches_all(self, space):
+        subs = subs_selective_on("attr0", count=4)
+        events = [Event.of(attr0=550, attr1=10, attr2=10)]
+        w = build_match_matrix(space, subs, events)
+        # along attr1/attr2 every subscription matches (no constraint)
+        assert w[1, 0] == 4
+        assert w[2, 0] == 4
+
+    def test_selective_dimension_counts(self, space):
+        subs = subs_selective_on("attr0", count=4, width=100)
+        events = [Event.of(attr0=150, attr1=0, attr2=0)]
+        w = build_match_matrix(space, subs, events)
+        assert w[0, 0] == 1  # only the [100,199] subscription matches
+
+    def test_requires_inputs(self, space):
+        with pytest.raises(WorkloadError):
+            build_match_matrix(space, [], [Event.of(attr0=1)])
+        with pytest.raises(WorkloadError):
+            build_match_matrix(space, subs_selective_on("attr0"), [])
+
+
+class TestSelection:
+    def test_variable_dimension_ranked_first(self, space):
+        """Only attr0 discriminates among subscriptions as events move, so
+        it must rank highest; the unconstrained dimensions carry no
+        variance."""
+        subs = subs_selective_on("attr0", count=8, width=128)
+        rng = np.random.default_rng(0)
+        events = [
+            Event.of(
+                attr0=float(rng.uniform(0, 1023)),
+                attr1=float(rng.uniform(0, 1023)),
+                attr2=float(rng.uniform(0, 1023)),
+            )
+            for _ in range(100)
+        ]
+        selection = select_dimensions(space, subs, events, threshold=0.5)
+        assert selection.ranked[0] == "attr0"
+        assert selection.selected[0] == "attr0"
+
+    def test_forced_k(self, space):
+        subs = subs_selective_on("attr0")
+        events = [
+            Event.of(attr0=float(v), attr1=1.0, attr2=1.0)
+            for v in range(0, 1000, 50)
+        ]
+        selection = select_dimensions(space, subs, events, k=2)
+        assert selection.k == 2
+        assert len(selection.selected) == 2
+
+    def test_threshold_selects_fewer_for_concentrated_variance(self, space):
+        subs = subs_selective_on("attr0", count=8, width=128)
+        rng = np.random.default_rng(1)
+        events = [
+            Event.of(
+                attr0=float(rng.uniform(0, 1023)), attr1=5.0, attr2=5.0
+            )
+            for _ in range(100)
+        ]
+        selection = select_dimensions(space, subs, events, threshold=0.9)
+        assert selection.k == 1  # all variance lives on attr0
+
+    def test_scores_and_eigenvalues_exposed(self, space):
+        subs = subs_selective_on("attr0")
+        events = [Event.of(attr0=float(v), attr1=0.0, attr2=0.0) for v in range(0, 900, 100)]
+        selection = select_dimensions(space, subs, events)
+        assert set(selection.scores) == set(space.names)
+        assert len(selection.eigenvalues) == 3
+        assert selection.eigenvalues[0] >= selection.eigenvalues[-1]
+
+    def test_no_variance_falls_back_to_schema_order(self, space):
+        subs = [Subscription.of()]  # matches everything along every dim
+        events = [Event.of(attr0=1.0, attr1=1.0, attr2=1.0)] * 5
+        selection = select_dimensions(space, subs, events, threshold=0.5)
+        assert selection.ranked[0] == "attr0"
+
+    def test_validation(self, space):
+        subs = subs_selective_on("attr0")
+        events = [Event.of(attr0=1.0, attr1=1.0, attr2=1.0)]
+        with pytest.raises(WorkloadError):
+            select_dimensions(space, subs, events, threshold=0.0)
+        with pytest.raises(SchemaError):
+            select_dimensions(space, subs, events, k=99)
+
+
+class TestOnZipfianTypes:
+    def test_restricted_workload_needs_fewer_dimensions(self):
+        """Type 1 (variance confined to 2 dims) should satisfy the same
+        threshold with fewer selected dimensions than type 3."""
+        ks = {}
+        for type_id in (1, 3):
+            wl = zipfian_type(type_id, seed=11)
+            subs = wl.subscriptions(60)
+            events = wl.events(200)
+            selection = select_dimensions(
+                wl.space, subs, events, threshold=0.8
+            )
+            ks[type_id] = selection.k
+        assert ks[1] <= ks[3]
+
+    def test_restricted_dimensions_ranked_low(self):
+        wl = zipfian_type(1, seed=13)
+        subs = wl.subscriptions(60)
+        events = wl.events(200)
+        selection = select_dimensions(wl.space, subs, events, k=2)
+        # the informative dimensions are attr0/attr1 (unrestricted)
+        assert set(selection.selected) <= {"attr0", "attr1"}

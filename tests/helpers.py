@@ -1,0 +1,142 @@
+"""Shared helpers for controller/middleware/integration tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.controller import PleromaController
+from repro.core.addressing import dz_to_address
+from repro.core.events import Event, EventSpace
+from repro.core.spatial_index import SpatialIndexer
+from repro.network.fabric import Network, NetworkParams
+from repro.network.packet import EventPayload, Packet, event_packet_size
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class System:
+    """A wired-up simulation: network, controller, indexer, delivery log."""
+
+    sim: Simulator
+    net: Network
+    controller: PleromaController
+    indexer: SpatialIndexer
+    deliveries: dict[str, list[EventPayload]] = field(default_factory=dict)
+
+    def watch_host(self, host_name: str) -> None:
+        """Record every event delivered to a host."""
+        log: list[EventPayload] = []
+        self.deliveries[host_name] = log
+        self.net.hosts[host_name].set_delivery_callback(
+            lambda payload, packet, now: log.append(payload)
+        )
+
+    def publish(self, host_name: str, event: Event) -> None:
+        """Send one event from a host, stamped with its maximal dz."""
+        dz = self.indexer.event_to_dz(event)
+        payload = EventPayload(event, dz, host_name, self.sim.now)
+        self.net.hosts[host_name].send(
+            Packet(
+                dst_address=dz_to_address(dz),
+                payload=payload,
+                size_bytes=event_packet_size(dz),
+            )
+        )
+
+    def run(self) -> None:
+        self.sim.run()
+
+    def delivered_events(self, host_name: str) -> list[Event]:
+        return [p.event for p in self.deliveries.get(host_name, [])]
+
+
+@dataclass
+class FederatedSystem:
+    """A multi-partition simulation with one controller per partition."""
+
+    sim: Simulator
+    net: Network
+    federation: "Federation"
+    indexer: SpatialIndexer
+    deliveries: dict[str, list[EventPayload]] = field(default_factory=dict)
+
+    @property
+    def controllers(self):
+        return self.federation.controllers
+
+    def watch_host(self, host_name: str) -> None:
+        log: list[EventPayload] = []
+        self.deliveries[host_name] = log
+        self.net.hosts[host_name].set_delivery_callback(
+            lambda payload, packet, now: log.append(payload)
+        )
+
+    def publish(self, host_name: str, event: Event) -> None:
+        dz = self.indexer.event_to_dz(event)
+        payload = EventPayload(event, dz, host_name, self.sim.now)
+        self.net.hosts[host_name].send(
+            Packet(
+                dst_address=dz_to_address(dz),
+                payload=payload,
+                size_bytes=event_packet_size(dz),
+            )
+        )
+
+    def run(self) -> None:
+        self.sim.run()
+
+    def delivered_events(self, host_name: str) -> list[Event]:
+        return [p.event for p in self.deliveries.get(host_name, [])]
+
+
+def make_federated_system(
+    topology: Topology,
+    partitions: int,
+    dimensions: int = 1,
+    max_dz_length: int = 10,
+    covering_enabled: bool = True,
+    params: NetworkParams | None = None,
+    **controller_kwargs,
+) -> FederatedSystem:
+    """Build a network cut into ``partitions`` partitions, one controller
+    each, glued by a :class:`Federation`."""
+    from repro.interop.federation import Federation
+    from repro.network.topology import partition_switches
+
+    sim = Simulator()
+    net = Network(sim, topology, params=params)
+    space = EventSpace.paper_schema(dimensions)
+    indexer = SpatialIndexer(space, max_dz_length=max_dz_length)
+    controllers = [
+        PleromaController(
+            net, indexer, partition=chunk, name=f"c{i + 1}", **controller_kwargs
+        )
+        for i, chunk in enumerate(partition_switches(topology, partitions))
+    ]
+    federation = Federation(net, controllers, covering_enabled=covering_enabled)
+    system = FederatedSystem(
+        sim=sim, net=net, federation=federation, indexer=indexer
+    )
+    for host in topology.hosts():
+        system.watch_host(host)
+    return system
+
+
+def make_system(
+    topology: Topology,
+    dimensions: int = 1,
+    max_dz_length: int = 10,
+    params: NetworkParams | None = None,
+    **controller_kwargs,
+) -> System:
+    """Build a simulator + network + single controller over ``topology``."""
+    sim = Simulator()
+    net = Network(sim, topology, params=params)
+    space = EventSpace.paper_schema(dimensions)
+    indexer = SpatialIndexer(space, max_dz_length=max_dz_length)
+    controller = PleromaController(net, indexer, **controller_kwargs)
+    system = System(sim=sim, net=net, controller=controller, indexer=indexer)
+    for host in topology.hosts():
+        system.watch_host(host)
+    return system

@@ -1,0 +1,211 @@
+"""End-to-end integration tests: realistic workloads through the full stack."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.subscription import Filter
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import mininet_fat_tree, paper_fat_tree, ring
+from repro.workloads.scenarios import paper_uniform, paper_zipfian
+
+
+class TestRealisticWorkloads:
+    def test_uniform_workload_no_false_negatives(self):
+        """Every event matching a host's subscription must arrive, for a
+        random uniform workload over the full testbed."""
+        workload = paper_uniform(dimensions=3, seed=71, width_fraction=0.25)
+        middleware = Pleroma(
+            paper_fat_tree(), space=workload.space, max_dz_length=15,
+            max_cells=128,
+        )
+        publisher = middleware.publisher("h1")
+        publisher.advertise(workload.advertisement_covering_all())
+        hosts = ["h2", "h3", "h4", "h5", "h6", "h7", "h8"]
+        host_subs = {h: [] for h in hosts}
+        for i, sub in enumerate(workload.subscriptions(40)):
+            host = hosts[i % len(hosts)]
+            middleware.subscribe(host, sub)
+            host_subs[host].append(sub)
+        events = workload.events(200)
+        clients = {h: middleware.subscriber(h) for h in hosts}
+        for event in events:
+            publisher.publish(event)
+        middleware.run()
+        for host in hosts:
+            wanted = [
+                e for e in events
+                if any(s.matches(e) for s in host_subs[host])
+            ]
+            got_ids = {e.event_id for e in clients[host].matched}
+            for e in wanted:
+                assert e.event_id in got_ids, (
+                    f"{host} missed {e} "
+                    f"(matched {len(clients[host].matched)})"
+                )
+        middleware.check_invariants()
+
+    def test_zipfian_workload_bounded_false_positives(self):
+        workload = paper_zipfian(dimensions=3, seed=73, width_fraction=0.25)
+        middleware = Pleroma(
+            paper_fat_tree(), space=workload.space, max_dz_length=18,
+            max_cells=128,
+        )
+        publisher = middleware.publisher("h1")
+        publisher.advertise(workload.advertisement_covering_all())
+        for i, sub in enumerate(workload.subscriptions(100)):
+            middleware.subscribe(f"h{2 + i % 7}", sub)
+        for event in workload.events(300):
+            publisher.publish(event)
+        middleware.run()
+        assert middleware.metrics.delivered > 0
+        # fine indexing keeps unwanted traffic a minority
+        assert middleware.metrics.false_positive_rate() < 50.0
+
+    def test_churn_soak(self):
+        """Random interleaving of subscribe/unsubscribe/advertise/
+        unadvertise keeps all invariants and ends in a clean state."""
+        import random
+
+        rng = random.Random(77)
+        workload = paper_uniform(dimensions=2, seed=79)
+        middleware = Pleroma(
+            mininet_fat_tree(), space=workload.space, max_dz_length=12
+        )
+        hosts = middleware.topology.hosts()
+        live_subs: list[tuple[str, int]] = []
+        live_advs: list[tuple[str, int]] = []
+        for step in range(150):
+            roll = rng.random()
+            if roll < 0.35 or not live_advs:
+                host = rng.choice(hosts)
+                from repro.core.subscription import Advertisement
+
+                state = middleware.advertise(
+                    host, Advertisement(filter=workload.subscription().filter)
+                )
+                live_advs.append((host, state.adv_id))
+            elif roll < 0.70:
+                host = rng.choice(hosts)
+                state = middleware.subscribe(host, workload.subscription())
+                live_subs.append((host, state.sub_id))
+            elif roll < 0.85 and live_subs:
+                host, sub_id = live_subs.pop(
+                    rng.randrange(len(live_subs))
+                )
+                middleware.unsubscribe(host, sub_id)
+            elif live_advs:
+                host, adv_id = live_advs.pop(
+                    rng.randrange(len(live_advs))
+                )
+                middleware.unadvertise(host, adv_id)
+            if step % 25 == 0:
+                middleware.check_invariants()
+        # tear everything down: the fabric must end empty
+        for host, sub_id in live_subs:
+            middleware.unsubscribe(host, sub_id)
+        for host, adv_id in live_advs:
+            middleware.unadvertise(host, adv_id)
+        assert middleware.total_flows_installed() == 0
+        assert len(middleware.controllers[0].trees) == 0
+
+    def test_federated_soak(self):
+        """Cross-partition churn on a partitioned ring stays consistent."""
+        import random
+
+        rng = random.Random(83)
+        workload = paper_uniform(dimensions=2, seed=89, width_fraction=0.4)
+        middleware = Pleroma(
+            ring(12), space=workload.space, max_dz_length=10, partitions=3
+        )
+        hosts = middleware.topology.hosts()
+        publishers = {}
+        for host in hosts[:3]:
+            pub = middleware.publisher(host)
+            pub.advertise(Filter.of())
+            publishers[host] = pub
+        middleware.run()
+        live = []
+        for _ in range(30):
+            host = rng.choice(hosts[3:])
+            state = middleware.subscribe(host, workload.subscription())
+            live.append((host, state.sub_id))
+            middleware.run()
+        for host, sub_id in rng.sample(live, 10):
+            middleware.unsubscribe(host, sub_id)
+            live.remove((host, sub_id))
+            middleware.run()
+        middleware.check_invariants()
+        # publish and confirm deliveries still flow across partitions
+        for pub in publishers.values():
+            for event in workload.events(10):
+                pub.publish(event)
+        middleware.run()
+        assert middleware.metrics.published == 30
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        """Two identical runs produce identical delivery sequences."""
+
+        def run():
+            workload = paper_zipfian(dimensions=2, seed=97)
+            middleware = Pleroma(
+                paper_fat_tree(), space=workload.space, max_dz_length=12
+            )
+            publisher = middleware.publisher("h1")
+            publisher.advertise(workload.advertisement_covering_all())
+            for i, sub in enumerate(workload.subscriptions(30)):
+                middleware.subscribe(f"h{2 + i % 7}", sub)
+            for i, event in enumerate(workload.events(100)):
+                middleware.sim.schedule(
+                    i * 1e-3, middleware.publish, "h1", event
+                )
+            middleware.run()
+            return [
+                (r.host, r.event.event_id, round(r.deliver_time, 12))
+                for r in middleware.metrics.records
+            ]
+
+        assert run() == run()
+
+    def test_flow_tables_deterministic(self):
+        def tables():
+            workload = paper_uniform(dimensions=2, seed=101)
+            middleware = Pleroma(
+                paper_fat_tree(), space=workload.space, max_dz_length=12
+            )
+            middleware.advertise(
+                "h1", workload.advertisement_covering_all()
+            )
+            for i, sub in enumerate(workload.subscriptions(50)):
+                middleware.subscribe(f"h{2 + i % 7}", sub)
+            return {
+                name: sorted(
+                    (str(e.match), e.priority, tuple(sorted(map(str, e.actions))))
+                    for e in switch.table
+                )
+                for name, switch in middleware.network.switches.items()
+            }
+
+        assert tables() == tables()
+
+
+class TestScaleSmoke:
+    def test_thousand_subscriptions(self):
+        """A thousand subscriptions deploy quickly and deliver correctly."""
+        workload = paper_zipfian(dimensions=4, seed=103)
+        middleware = Pleroma(
+            paper_fat_tree(), space=workload.space, max_dz_length=16
+        )
+        publisher = middleware.publisher("h1")
+        publisher.advertise(workload.advertisement_covering_all())
+        for i, sub in enumerate(workload.subscriptions(1000)):
+            middleware.subscribe(f"h{2 + i % 7}", sub)
+        middleware.check_invariants()
+        for event in workload.events(50):
+            publisher.publish(event)
+        middleware.run()
+        assert middleware.metrics.delivered > 0
+        # the per-switch flow counts stay well within TCAM limits
+        for switch in middleware.network.switches.values():
+            assert len(switch.table) < 40_000

@@ -1,0 +1,66 @@
+"""Unit tests for LLDP border discovery."""
+
+import pytest
+
+from repro.exceptions import FederationError
+from repro.interop.discovery import BorderPort, discover_borders
+from repro.network.fabric import Network
+from repro.network.topology import line, ring
+from repro.sim.engine import Simulator
+
+
+def build(topology):
+    return Network(Simulator(), topology)
+
+
+class TestDiscovery:
+    def test_line_split_in_two(self):
+        topo = line(4, hosts_per_switch=0)
+        net = build(topo)
+        owner = {"R1": "c1", "R2": "c1", "R3": "c2", "R4": "c2"}
+        borders = discover_borders(net, owner)
+        assert borders["c1"] == [BorderPort("R2", net.port("R2", "R3"))]
+        assert borders["c2"] == [BorderPort("R3", net.port("R3", "R2"))]
+
+    def test_interior_partition_has_two_borders(self):
+        topo = line(6, hosts_per_switch=0)
+        net = build(topo)
+        owner = {f"R{i}": "c1" for i in (1, 2)}
+        owner |= {f"R{i}": "c2" for i in (3, 4)}
+        owner |= {f"R{i}": "c3" for i in (5, 6)}
+        borders = discover_borders(net, owner)
+        assert len(borders["c1"]) == 1
+        assert len(borders["c2"]) == 2
+        assert len(borders["c3"]) == 1
+
+    def test_ring_partitions_have_two_borders_each(self):
+        topo = ring(6, hosts_per_switch=0)
+        net = build(topo)
+        owner = {}
+        for i in range(1, 7):
+            owner[f"R{i}"] = f"c{(i - 1) // 2 + 1}"
+        borders = discover_borders(net, owner)
+        for name in ("c1", "c2", "c3"):
+            assert len(borders[name]) == 2
+
+    def test_single_partition_no_borders(self):
+        topo = line(3, hosts_per_switch=0)
+        net = build(topo)
+        borders = discover_borders(net, {f"R{i}": "c1" for i in (1, 2, 3)})
+        assert borders["c1"] == []
+
+    def test_host_links_ignored(self):
+        topo = line(2, hosts_per_switch=2)
+        net = build(topo)
+        borders = discover_borders(net, {"R1": "c1", "R2": "c2"})
+        assert all(
+            not bp.switch.startswith("h")
+            for bps in borders.values()
+            for bp in bps
+        )
+
+    def test_unowned_switch_rejected(self):
+        topo = line(2, hosts_per_switch=0)
+        net = build(topo)
+        with pytest.raises(FederationError):
+            discover_borders(net, {"R1": "c1"})

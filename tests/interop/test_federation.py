@@ -1,0 +1,314 @@
+"""Integration tests for multi-partition interoperability (Sec. 4)."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Subscription
+from repro.exceptions import FederationError
+from repro.interop.federation import Federation
+from repro.network.topology import line, ring
+from tests.helpers import make_federated_system
+
+FULL = (0, 1023)
+MID = (512, 767)    # dz 10
+LOW = (0, 255)      # dz 00
+LOWER = (0, 127)    # dz 000
+
+
+class TestConstruction:
+    def test_partitions_must_cover_switches(self):
+        system = make_federated_system(line(4), 2)
+        # stealing a controller and re-federating with only one must fail
+        c1 = system.controllers["c1"]
+        with pytest.raises(FederationError):
+            Federation(system.net, [c1])
+
+    def test_duplicate_names_rejected(self):
+        system = make_federated_system(line(4), 2)
+        c1 = system.controllers["c1"]
+        with pytest.raises(FederationError):
+            Federation(system.net, [c1, c1])
+
+    def test_controller_for_host(self):
+        system = make_federated_system(line(4), 2)
+        owner = system.federation.controller_for_host("h1")
+        assert "R1" in owner.partition
+
+    def test_borders_registered_as_virtual_endpoints(self):
+        system = make_federated_system(line(4), 2)
+        for name, controller in system.controllers.items():
+            for border in system.federation.borders_of(name):
+                ep = controller.endpoint_for_host(f"vh:{border.key}")
+                assert ep.is_virtual
+
+
+class TestCrossPartitionDelivery:
+    def test_two_partitions(self):
+        """Publisher in partition 1, subscriber in partition 2."""
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()  # propagate the external advertisement
+        system.federation.subscribe("h4", Subscription.of(attr0=MID))
+        system.run()  # reverse-path subscription
+        system.publish("h1", Event.of(attr0=600))
+        system.run()
+        assert len(system.delivered_events("h4")) == 1
+
+    def test_three_partitions_fig5(self):
+        """The Fig. 5 scenario: p1 in N1, s1 in N3 — the subscription is
+        forwarded hop by hop along the advertisement's reverse path."""
+        system = make_federated_system(line(6), 3)
+        system.federation.advertise("h1", Advertisement.of(attr0=(0, 511)))
+        system.run()
+        system.federation.subscribe("h6", Subscription.of(attr0=LOW))
+        system.run()
+        system.publish("h1", Event.of(attr0=100))
+        system.publish("h1", Event.of(attr0=400))  # outside {00}
+        system.run()
+        events = system.delivered_events("h6")
+        assert [e.value("attr0") for e in events] == [100]
+
+    def test_subscriber_before_advertisement(self):
+        """A stored subscription must be served once the remote
+        advertisement arrives."""
+        system = make_federated_system(line(4), 2)
+        system.federation.subscribe("h4", Subscription.of(attr0=MID))
+        system.run()
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        system.publish("h1", Event.of(attr0=600))
+        system.run()
+        assert len(system.delivered_events("h4")) == 1
+
+    def test_local_delivery_unaffected(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        system.federation.subscribe("h2", Subscription.of(attr0=MID))
+        system.run()
+        system.publish("h1", Event.of(attr0=600))
+        system.run()
+        assert len(system.delivered_events("h2")) == 1
+
+    def test_both_directions(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=LOW))
+        system.federation.advertise("h4", Advertisement.of(attr0=MID))
+        system.run()
+        system.federation.subscribe("h1", Subscription.of(attr0=MID))
+        system.federation.subscribe("h4", Subscription.of(attr0=LOW))
+        system.run()
+        system.publish("h1", Event.of(attr0=100))
+        system.publish("h4", Event.of(attr0=600))
+        system.run()
+        assert len(system.delivered_events("h1")) == 1
+        assert len(system.delivered_events("h4")) == 1
+
+    def test_ring_no_duplicate_delivery(self):
+        """On a cyclic partition graph an event must still arrive exactly
+        once (request-id deduplication prevents looping paths)."""
+        system = make_federated_system(ring(6), 3)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        system.federation.subscribe("h4", Subscription.of(attr0=FULL))
+        system.run()
+        system.publish("h1", Event.of(attr0=600))
+        system.run()
+        assert len(system.delivered_events("h4")) == 1
+
+
+class TestCoveringBasedForwarding:
+    def test_covered_subscription_not_forwarded(self):
+        """Fig. 5: s2 = {000} arriving after s1 = {00} is not forwarded
+        upstream because it is covered."""
+        system = make_federated_system(line(6), 3)
+        system.federation.advertise("h1", Advertisement.of(attr0=(0, 511)))
+        system.run()
+        system.federation.subscribe("h6", Subscription.of(attr0=LOW))
+        system.run()
+        c3 = system.federation.controller_for_host("h6")
+        sent_before = system.federation.stats.messages_sent[c3.name]
+        system.federation.subscribe("h6", Subscription.of(attr0=LOWER))
+        system.run()
+        sent_after = system.federation.stats.messages_sent[c3.name]
+        assert sent_after == sent_before  # covered: nothing forwarded
+
+    def test_covered_subscriber_still_receives_events(self):
+        system = make_federated_system(line(6), 3)
+        system.federation.advertise("h1", Advertisement.of(attr0=(0, 511)))
+        system.run()
+        system.federation.subscribe("h6", Subscription.of(attr0=LOW))
+        system.federation.subscribe("h5", Subscription.of(attr0=LOWER))
+        system.run()
+        system.publish("h1", Event.of(attr0=50))
+        system.run()
+        assert len(system.delivered_events("h6")) == 1
+        assert len(system.delivered_events("h5")) == 1
+
+    def test_covered_advertisement_not_forwarded(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=(0, 511)))
+        system.run()
+        c1 = system.federation.controller_for_host("h1")
+        sent_before = system.federation.stats.messages_sent[c1.name]
+        system.federation.advertise("h2", Advertisement.of(attr0=LOW))
+        system.run()
+        assert (
+            system.federation.stats.messages_sent[c1.name] == sent_before
+        )
+
+    def test_covering_disabled_forwards_everything(self):
+        system = make_federated_system(
+            line(6), 3, covering_enabled=False
+        )
+        system.federation.advertise("h1", Advertisement.of(attr0=(0, 511)))
+        system.run()
+        system.federation.subscribe("h6", Subscription.of(attr0=LOW))
+        system.run()
+        c3 = system.federation.controller_for_host("h6")
+        sent_before = system.federation.stats.messages_sent[c3.name]
+        system.federation.subscribe("h6", Subscription.of(attr0=LOWER))
+        system.run()
+        assert system.federation.stats.messages_sent[c3.name] > sent_before
+
+
+class TestStats:
+    def test_internal_vs_external_counting(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        stats = system.federation.stats
+        c1 = system.federation.controller_for_host("h1").name
+        c2 = system.federation.controller_for_host("h4").name
+        assert stats.internal_requests[c1] == 1
+        assert stats.external_requests[c2] == 1
+        assert stats.messages_sent[c1] == 1
+
+    def test_average_overhead(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        avg = system.federation.stats.average_overhead(
+            system.controllers.keys()
+        )
+        assert avg == 1.0  # 2 requests over 2 controllers
+
+    def test_total_control_traffic(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        assert system.federation.stats.total_control_traffic() == 2
+
+
+class TestCoveringRelaxation:
+    """Withdrawing a request must re-announce the requests it had covered —
+    otherwise remote partitions silently lose events."""
+
+    def test_readvertisement_after_unadvertise(self):
+        system = make_federated_system(line(4), 2)
+        a1 = system.federation.advertise("h1", Advertisement.of(attr0=(0, 511)))
+        system.run()
+        system.federation.unadvertise("h1", a1.adv_id)
+        system.run()
+        system.federation.advertise("h1", Advertisement.of(attr0=LOW))
+        system.run()
+        system.federation.subscribe("h4", Subscription.of(attr0=LOW))
+        system.run()
+        system.publish("h1", Event.of(attr0=100))
+        system.run()
+        assert len(system.delivered_events("h4")) == 1
+
+    def test_covered_subscription_reannounced_when_cover_leaves(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        big = system.federation.subscribe("h4", Subscription.of(attr0=(0, 511)))
+        system.run()
+        system.federation.subscribe("h3", Subscription.of(attr0=LOW))
+        system.run()
+        system.federation.unsubscribe("h4", big.sub_id)
+        system.run()
+        system.publish("h1", Event.of(attr0=100))
+        system.run()
+        assert len(system.delivered_events("h3")) == 1
+        assert system.delivered_events("h4") == []
+
+    def test_covered_advertisement_reannounced_when_cover_leaves(self):
+        system = make_federated_system(line(4), 2)
+        a_big = system.federation.advertise(
+            "h1", Advertisement.of(attr0=(0, 511))
+        )
+        system.run()
+        system.federation.advertise("h2", Advertisement.of(attr0=LOW))
+        system.run()  # covered: not forwarded to partition 2
+        system.federation.unadvertise("h1", a_big.adv_id)
+        system.run()  # h2's advertisement must now be announced
+        system.federation.subscribe("h4", Subscription.of(attr0=LOW))
+        system.run()
+        system.publish("h2", Event.of(attr0=50))
+        system.run()
+        assert len(system.delivered_events("h4")) == 1
+
+    def test_relaxation_on_transit_partition(self):
+        """Three partitions: the middle one must also re-announce."""
+        system = make_federated_system(line(6), 3)
+        a_big = system.federation.advertise(
+            "h1", Advertisement.of(attr0=(0, 511))
+        )
+        system.run()
+        system.federation.advertise("h2", Advertisement.of(attr0=LOWER))
+        system.run()
+        system.federation.unadvertise("h1", a_big.adv_id)
+        system.run()
+        system.federation.subscribe("h6", Subscription.of(attr0=LOWER))
+        system.run()
+        system.publish("h2", Event.of(attr0=50))
+        system.run()
+        assert len(system.delivered_events("h6")) == 1
+
+
+class TestCrossPartitionUnsubscribe:
+    def test_unsubscribe_removes_remote_paths(self):
+        system = make_federated_system(line(4), 2)
+        system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        sub = system.federation.subscribe("h4", Subscription.of(attr0=MID))
+        system.run()
+        system.federation.unsubscribe("h4", sub.sub_id)
+        system.run()
+        system.publish("h1", Event.of(attr0=600))
+        system.run()
+        assert system.delivered_events("h4") == []
+        # remote controller dropped its virtual subscription
+        c1 = system.federation.controller_for_host("h1")
+        assert all(
+            not s.endpoint.is_virtual for s in c1.subscriptions.values()
+        )
+
+    def test_unadvertise_removes_remote_trees(self):
+        system = make_federated_system(line(4), 2)
+        adv = system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        c2 = system.federation.controller_for_host("h4")
+        assert len(c2.trees) == 1
+        system.federation.unadvertise("h1", adv.adv_id)
+        system.run()
+        assert len(c2.trees) == 0
+
+    def test_invariants_hold_after_churn(self):
+        system = make_federated_system(ring(6), 3)
+        adv = system.federation.advertise("h1", Advertisement.of(attr0=FULL))
+        system.run()
+        subs = [
+            system.federation.subscribe(h, Subscription.of(attr0=MID))
+            for h in ("h2", "h4", "h6")
+        ]
+        system.run()
+        system.federation.unsubscribe("h4", subs[1].sub_id)
+        system.run()
+        system.federation.check_invariants()
+        system.publish("h1", Event.of(attr0=600))
+        system.run()
+        assert len(system.delivered_events("h2")) == 1
+        assert len(system.delivered_events("h6")) == 1
+        assert system.delivered_events("h4") == []

@@ -1,0 +1,31 @@
+"""Federation and the OpenFlow channel cannot share switch handlers."""
+
+import pytest
+
+from repro.controller.controller import PleromaController
+from repro.core.events import EventSpace
+from repro.core.spatial_index import SpatialIndexer
+from repro.exceptions import FederationError
+from repro.interop.federation import Federation
+from repro.network.control_channel import ControlChannel
+from repro.network.fabric import Network
+from repro.network.topology import partition_switches, ring
+from repro.sim.engine import Simulator
+
+
+def test_channel_controller_rejected_by_federation():
+    sim = Simulator()
+    topo = ring(6)
+    net = Network(sim, topo)
+    indexer = SpatialIndexer(EventSpace.paper_schema(1))
+    chunks = partition_switches(topo, 2)
+    with_channel = PleromaController(
+        net,
+        indexer,
+        partition=chunks[0],
+        name="c1",
+        control_channel=ControlChannel(sim),
+    )
+    plain = PleromaController(net, indexer, partition=chunks[1], name="c2")
+    with pytest.raises(FederationError):
+        Federation(net, [with_channel, plain])

@@ -1,0 +1,73 @@
+"""Tests for publish_stream and request-log summarisation."""
+
+import pytest
+
+from repro.controller.controller import summarize_requests
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Subscription
+from repro.exceptions import ControllerError
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import line
+
+
+@pytest.fixture
+def middleware():
+    m = Pleroma(line(3), dimensions=1, max_dz_length=10)
+    m.advertise("h1", Advertisement.of(attr0=(0, 1023)))
+    m.subscribe("h3", Subscription.of(attr0=(0, 1023)))
+    return m
+
+
+class TestPublishStream:
+    def test_constant_rate(self, middleware):
+        events = [Event.of(event_id=i, attr0=100) for i in range(10)]
+        count = middleware.publish_stream("h1", events, rate_eps=1000.0)
+        assert count == 10
+        middleware.run()
+        assert middleware.metrics.published == 10
+        assert middleware.metrics.sent_rate_eps() == pytest.approx(
+            10 / 0.009, rel=0.01
+        )
+
+    def test_start_at(self, middleware):
+        middleware.publish_stream(
+            "h1", [Event.of(attr0=1)], rate_eps=100.0, start_at=0.5
+        )
+        middleware.run()
+        assert middleware.metrics.first_publish_time == pytest.approx(0.5)
+
+    def test_invalid_rate(self, middleware):
+        with pytest.raises(ControllerError):
+            middleware.publish_stream("h1", [], rate_eps=0.0)
+
+    def test_generator_input(self, middleware):
+        count = middleware.publish_stream(
+            "h1",
+            (Event.of(attr0=v) for v in (1, 2, 3)),
+            rate_eps=100.0,
+        )
+        assert count == 3
+
+
+class TestSummarizeRequests:
+    def test_summary_fields(self, middleware):
+        log = middleware.controllers[0].request_log
+        summary = summarize_requests(log)
+        assert summary["count"] == 2  # one advertise + one subscribe
+        assert summary["mean_delay_s"] > 0
+        assert summary["max_delay_s"] >= summary["mean_delay_s"]
+        assert summary["total_flow_mods"] > 0
+        assert summary["requests_per_second"] > 0
+
+    def test_kind_filter(self, middleware):
+        log = middleware.controllers[0].request_log
+        assert summarize_requests(log, kind="subscribe")["count"] == 1
+        assert summarize_requests(log, kind="advertise")["count"] == 1
+
+    def test_empty_rejected(self, middleware):
+        with pytest.raises(ControllerError):
+            summarize_requests([])
+        with pytest.raises(ControllerError):
+            summarize_requests(
+                middleware.controllers[0].request_log, kind="reroute"
+            )

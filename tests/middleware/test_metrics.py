@@ -1,0 +1,103 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.middleware.metrics import (
+    DeliveryRecord,
+    MetricsCollector,
+    summarize,
+)
+
+
+def record(host="h1", publish=0.0, deliver=0.001, matched=True):
+    return DeliveryRecord(
+        host=host,
+        event=Event.of(x=1),
+        publish_time=publish,
+        deliver_time=deliver,
+        matched=matched,
+    )
+
+
+class TestRecording:
+    def test_publish_window(self):
+        collector = MetricsCollector()
+        collector.on_publish(1.0)
+        collector.on_publish(3.0)
+        assert collector.published == 2
+        assert collector.first_publish_time == 1.0
+        assert collector.last_publish_time == 3.0
+
+    def test_delivery_record_delay(self):
+        assert record(publish=1.0, deliver=1.25).delay == pytest.approx(0.25)
+
+    def test_reset(self):
+        collector = MetricsCollector()
+        collector.on_publish(1.0)
+        collector.on_delivery(record())
+        collector.reset()
+        assert collector.published == 0
+        assert collector.delivered == 0
+        assert collector.first_publish_time is None
+
+
+class TestDerivedMetrics:
+    def test_mean_and_max_delay(self):
+        collector = MetricsCollector()
+        collector.on_delivery(record(deliver=0.002))
+        collector.on_delivery(record(deliver=0.004))
+        assert collector.mean_delay() == pytest.approx(0.003)
+        assert collector.max_delay() == pytest.approx(0.004)
+
+    def test_delay_requires_records(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().mean_delay()
+        with pytest.raises(ValueError):
+            MetricsCollector().max_delay()
+
+    def test_false_positive_rate(self):
+        collector = MetricsCollector()
+        collector.on_delivery(record(matched=True))
+        collector.on_delivery(record(matched=False))
+        collector.on_delivery(record(matched=False))
+        assert collector.false_positive_rate() == pytest.approx(200 / 3)
+
+    def test_fpr_empty_is_zero(self):
+        assert MetricsCollector().false_positive_rate() == 0.0
+
+    def test_deliveries_per_host(self):
+        collector = MetricsCollector()
+        collector.on_delivery(record(host="a"))
+        collector.on_delivery(record(host="a"))
+        collector.on_delivery(record(host="b"))
+        assert collector.deliveries_per_host() == {"a": 2, "b": 1}
+
+    def test_rates(self):
+        collector = MetricsCollector()
+        collector.on_publish(0.0)
+        collector.on_publish(1.0)
+        collector.on_delivery(record())
+        collector.on_delivery(record())
+        collector.on_delivery(record())
+        assert collector.sent_rate_eps() == pytest.approx(2.0)
+        assert collector.received_rate_eps() == pytest.approx(3.0)
+
+    def test_rates_need_window(self):
+        collector = MetricsCollector()
+        collector.on_publish(5.0)  # single instant: no window
+        with pytest.raises(ValueError):
+            collector.sent_rate_eps()
+
+
+class TestSummarize:
+    def test_summary(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["count"] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

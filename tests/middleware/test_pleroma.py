@@ -1,0 +1,222 @@
+"""Integration tests for the Pleroma facade and clients."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Filter, Subscription
+from repro.exceptions import ControllerError
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import line, paper_fat_tree, ring
+
+FULL = (0, 1023)
+MID = (512, 767)
+LOW = (0, 255)
+
+
+@pytest.fixture
+def middleware():
+    return Pleroma(line(4), dimensions=1, max_dz_length=10)
+
+
+class TestClients:
+    def test_publish_subscribe_round_trip(self, middleware):
+        publisher = middleware.publisher("h1")
+        events = []
+        subscriber = middleware.subscriber(
+            "h4", callback=lambda e, t: events.append(e)
+        )
+        publisher.advertise(Filter.of(attr0=FULL))
+        subscriber.subscribe(Filter.of(attr0=MID))
+        publisher.publish(Event.of(attr0=600))
+        middleware.run()
+        assert len(events) == 1
+        assert subscriber.matched == events
+        assert publisher.published == 1
+
+    def test_publish_requires_advertisement(self, middleware):
+        publisher = middleware.publisher("h1")
+        with pytest.raises(ControllerError):
+            publisher.publish(Event.of(attr0=600))
+
+    def test_publish_outside_advertisement_rejected(self, middleware):
+        publisher = middleware.publisher("h1")
+        publisher.advertise(Filter.of(attr0=LOW))
+        with pytest.raises(ControllerError):
+            publisher.publish(Event.of(attr0=600))
+
+    def test_unsubscribe_stops_delivery(self, middleware):
+        publisher = middleware.publisher("h1")
+        subscriber = middleware.subscriber("h4")
+        publisher.advertise(Filter.of(attr0=FULL))
+        sub_id = subscriber.subscribe(Filter.of(attr0=MID))
+        subscriber.unsubscribe(sub_id)
+        publisher.publish(Event.of(attr0=600))
+        middleware.run()
+        assert subscriber.received == []
+
+    def test_unadvertise(self, middleware):
+        publisher = middleware.publisher("h1")
+        subscriber = middleware.subscriber("h4")
+        adv_id = publisher.advertise(Filter.of(attr0=FULL))
+        subscriber.subscribe(Filter.of(attr0=MID))
+        publisher.unadvertise(adv_id)
+        assert middleware.total_flows_installed() == 0
+
+    def test_unknown_handles_rejected(self, middleware):
+        publisher = middleware.publisher("h1")
+        subscriber = middleware.subscriber("h4")
+        with pytest.raises(ControllerError):
+            publisher.unadvertise(12345)
+        with pytest.raises(ControllerError):
+            subscriber.unsubscribe(12345)
+
+    def test_one_subscriber_client_per_host(self, middleware):
+        middleware.subscriber("h4")
+        with pytest.raises(ControllerError):
+            middleware.subscriber("h4")
+
+    def test_unknown_host(self, middleware):
+        with pytest.raises(ControllerError):
+            middleware.publisher("h99")
+
+    def test_accepts_subscription_and_advertisement_objects(self, middleware):
+        publisher = middleware.publisher("h1")
+        subscriber = middleware.subscriber("h4")
+        publisher.advertise(Advertisement.of(attr0=FULL))
+        subscriber.subscribe(Subscription.of(attr0=MID))
+        publisher.publish(Event.of(attr0=600))
+        middleware.run()
+        assert len(subscriber.matched) == 1
+
+
+class TestMetrics:
+    def test_delay_and_counts(self, middleware):
+        publisher = middleware.publisher("h1")
+        middleware.subscriber("h4")
+        publisher.advertise(Filter.of(attr0=FULL))
+        middleware.subscribe("h4", Subscription.of(attr0=FULL))
+        for value in (10, 600, 900):
+            publisher.publish(Event.of(attr0=value))
+        middleware.run()
+        assert middleware.metrics.published == 3
+        assert middleware.metrics.delivered == 3
+        assert middleware.metrics.mean_delay() > 0
+        assert middleware.metrics.false_positive_rate() == 0.0
+
+    def test_false_positives_counted_with_short_dz(self):
+        """With 1-bit dz, a subscription to {0..255} is indexed as the whole
+        lower half {0..511}: events in 256..511 are false positives."""
+        middleware = Pleroma(line(4), dimensions=1, max_dz_length=1)
+        publisher = middleware.publisher("h1")
+        middleware.subscriber("h4")
+        publisher.advertise(Filter.of(attr0=FULL))
+        middleware.subscribe("h4", Subscription.of(attr0=LOW))
+        publisher.publish(Event.of(attr0=100))  # wanted
+        publisher.publish(Event.of(attr0=400))  # false positive
+        middleware.run()
+        assert middleware.metrics.delivered == 2
+        assert middleware.metrics.false_positive_rate() == 50.0
+
+    def test_rates(self, middleware):
+        publisher = middleware.publisher("h1")
+        middleware.subscriber("h4")
+        publisher.advertise(Filter.of(attr0=FULL))
+        middleware.subscribe("h4", Subscription.of(attr0=FULL))
+        for i in range(10):
+            middleware.sim.schedule(
+                i * 0.001, publisher.publish, Event.of(attr0=600)
+            )
+        middleware.run()
+        assert middleware.metrics.sent_rate_eps() == pytest.approx(
+            10 / 0.009, rel=0.01
+        )
+        assert middleware.metrics.received_rate_eps() > 0
+
+
+class TestMultiPartitionFacade:
+    def test_partitions_with_federation(self):
+        middleware = Pleroma(ring(6), dimensions=1, partitions=3)
+        assert middleware.federation is not None
+        publisher = middleware.publisher("h1")
+        subscriber = middleware.subscriber("h4")
+        publisher.advertise(Filter.of(attr0=FULL))
+        middleware.run()
+        subscriber.subscribe(Filter.of(attr0=MID))
+        middleware.run()
+        publisher.publish(Event.of(attr0=600))
+        middleware.run()
+        assert len(subscriber.matched) == 1
+        middleware.check_invariants()
+
+    def test_dimension_selection_requires_single_partition(self):
+        middleware = Pleroma(ring(6), dimensions=2, partitions=2)
+        with pytest.raises(ControllerError):
+            middleware.enable_dimension_selection()
+
+
+class TestDimensionSelection:
+    def test_reselection_reduces_false_positives(self):
+        """The Fig. 7(e) effect in miniature: with a tight dz budget over
+        many dimensions, filtering is coarse; selecting the informative
+        dimension makes it sharp again."""
+        from repro.workloads.scenarios import zipfian_type
+
+        wl = zipfian_type(1, seed=31)
+
+        def build():
+            m = Pleroma(
+                line(4), space=wl.space, max_dz_length=7
+            )
+            pub = m.publisher("h1")
+            m.subscriber("h4")
+            pub.advertise(Filter.of())
+            m.subscribe("h4", wl.subscription(wl.hotspots[2]))
+            return m, pub
+
+        events = wl.events(300)
+
+        # without dimension selection
+        base, base_pub = build()
+        for event in events:
+            base_pub.publish(event)
+        base.run()
+        fpr_before = base.metrics.false_positive_rate()
+
+        # with dimension selection (k=2 informative dimensions)
+        tuned, tuned_pub = build()
+        tuned.enable_dimension_selection(window_size=300)
+        for event in events:
+            tuned_pub.publish(event)
+        tuned.run()
+        tuned.metrics.reset()
+        tuned.reselect_dimensions(k=2)
+        for event in events:
+            tuned_pub.publish(event)
+        tuned.run()
+        fpr_after = tuned.metrics.false_positive_rate()
+        assert fpr_after <= fpr_before
+
+    def test_reselect_requires_enable(self):
+        middleware = Pleroma(line(4), dimensions=2)
+        with pytest.raises(ControllerError):
+            middleware.reselect_dimensions()
+
+    def test_events_still_delivered_after_reindex(self):
+        middleware = Pleroma(line(4), dimensions=3, max_dz_length=9)
+        publisher = middleware.publisher("h1")
+        subscriber = middleware.subscriber("h4")
+        publisher.advertise(Filter.of())
+        middleware.subscribe(
+            "h4", Subscription.of(attr0=(0, 255), attr1=(0, 255))
+        )
+        middleware.enable_dimension_selection(window_size=50)
+        for i in range(50):
+            publisher.publish(
+                Event.of(attr0=(i * 37) % 1024, attr1=100.0, attr2=1.0)
+            )
+        middleware.run()
+        middleware.reselect_dimensions(k=1)
+        middleware.metrics.reset()
+        publisher.publish(Event.of(attr0=100, attr1=100, attr2=1))
+        middleware.run()
+        assert len(subscriber.matched) >= 1

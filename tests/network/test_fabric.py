@@ -1,0 +1,279 @@
+"""Integration-style tests of the live fabric: switches, links, hosts."""
+
+import pytest
+
+from repro.core.addressing import (
+    PUBSUB_CONTROL_ADDRESS,
+    dz_to_address,
+)
+from repro.core.dz import Dz
+from repro.exceptions import TopologyError
+from repro.network.fabric import Network, NetworkParams
+from repro.network.flow import Action, FlowEntry
+from repro.network.packet import Packet
+from repro.network.topology import line, paper_fat_tree
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def small_net():
+    sim = Simulator()
+    net = Network(sim, line(3, hosts_per_switch=1))
+    return sim, net
+
+
+class TestWiring:
+    def test_all_devices_built(self):
+        sim = Simulator()
+        net = Network(sim, paper_fat_tree())
+        assert len(net.switches) == 10
+        assert len(net.hosts) == 8
+        assert len(net.links) == 10 * 2 - 4 + 8  # 8+8 switch links + 8 host links
+
+    def test_ports_deterministic(self, small_net):
+        _, net = small_net
+        # R2's sorted neighbors are R1, R3, h2 -> ports 1, 2, 3
+        assert net.port("R2", "R1") == 1
+        assert net.port("R2", "R3") == 2
+        assert net.port("R2", "h2") == 3
+
+    def test_port_unknown_neighbor(self, small_net):
+        _, net = small_net
+        with pytest.raises(TopologyError):
+            net.port("R1", "R99")
+
+    def test_link_between(self, small_net):
+        _, net = small_net
+        link = net.link_between("R1", "R2")
+        assert {link.a.name, link.b.name} == {"R1", "R2"}
+
+    def test_host_addresses_unique(self, small_net):
+        _, net = small_net
+        addresses = {h.address for h in net.hosts.values()}
+        assert len(addresses) == len(net.hosts)
+
+    def test_host_by_address(self, small_net):
+        _, net = small_net
+        h1 = net.hosts["h1"]
+        assert net.host_by_address(h1.address) is h1
+        with pytest.raises(TopologyError):
+            net.host_by_address(12345)
+
+
+class TestForwarding:
+    def test_event_follows_installed_flows(self, small_net):
+        """A packet traverses R1 -> R2 -> R3 -> h3 and is readdressed at the
+        terminal switch, as in Fig. 3."""
+        sim, net = small_net
+        dz = Dz("10")
+        address = dz_to_address(dz)
+        h3 = net.hosts["h3"]
+        net.switches["R1"].table.install(
+            FlowEntry.for_dz(dz, {Action(net.port("R1", "R2"))})
+        )
+        net.switches["R2"].table.install(
+            FlowEntry.for_dz(dz, {Action(net.port("R2", "R3"))})
+        )
+        net.switches["R3"].table.install(
+            FlowEntry.for_dz(
+                dz, {Action(net.port("R3", "h3"), set_dest=h3.address)}
+            )
+        )
+        delivered = []
+        h3.set_delivery_callback(lambda p, pkt, t: delivered.append(pkt))
+        from repro.network.packet import EventPayload
+        from repro.core.events import Event
+
+        payload = EventPayload(Event.of(x=1), dz, "h1", 0.0)
+        net.hosts["h1"].send(Packet(dst_address=address, payload=payload))
+        sim.run()
+        assert len(delivered) == 1
+        assert delivered[0].dst_address == h3.address
+        assert delivered[0].hops == 4  # h1-R1, R1-R2, R2-R3, R3-h3
+
+    def test_coarse_flow_matches_fine_event(self, small_net):
+        sim, net = small_net
+        h2 = net.hosts["h2"]
+        net.switches["R1"].table.install(
+            FlowEntry.for_dz(Dz("1"), {Action(net.port("R1", "R2"))})
+        )
+        net.switches["R2"].table.install(
+            FlowEntry.for_dz(
+                Dz("1"), {Action(net.port("R2", "h2"), set_dest=h2.address)}
+            )
+        )
+        from repro.network.packet import EventPayload
+        from repro.core.events import Event
+
+        fine = Dz("10110")
+        net.hosts["h1"].send(
+            Packet(
+                dst_address=dz_to_address(fine),
+                payload=EventPayload(Event.of(x=1), fine, "h1", 0.0),
+            )
+        )
+        sim.run()
+        assert h2.packets_delivered == 1
+
+    def test_unmatched_packet_dropped(self, small_net):
+        sim, net = small_net
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("0")), payload=None)
+        )
+        sim.run()
+        assert net.switches["R1"].packets_dropped == 1
+        assert net.switches["R1"].packets_forwarded == 0
+
+    def test_control_packet_diverted(self, small_net):
+        sim, net = small_net
+        seen = []
+        net.switches["R1"].set_control_handler(
+            lambda sw, pkt, port: seen.append((sw.name, port))
+        )
+        net.hosts["h1"].send(
+            Packet(dst_address=PUBSUB_CONTROL_ADDRESS, payload="SUB")
+        )
+        sim.run()
+        assert seen == [("R1", net.port("R1", "h1"))]
+
+    def test_multicast_to_two_ports(self):
+        sim = Simulator()
+        from repro.network.topology import star
+
+        net = Network(sim, star(3, hosts_per_leaf=1))
+        hub = net.switches["HUB"]
+        dz = Dz("1")
+        hub.table.install(
+            FlowEntry.for_dz(
+                dz,
+                {
+                    Action(net.port("HUB", "L1")),
+                    Action(net.port("HUB", "L2")),
+                },
+            )
+        )
+        for leaf in ("L1", "L2"):
+            host = net.hosts[f"h{leaf[1]}"]
+            net.switches[leaf].table.install(
+                FlowEntry.for_dz(
+                    dz,
+                    {
+                        Action(
+                            net.port(leaf, f"h{leaf[1]}"),
+                            set_dest=host.address,
+                        )
+                    },
+                )
+            )
+        # the publisher's access switch forwards up to the hub
+        net.switches["L3"].table.install(
+            FlowEntry.for_dz(dz, {Action(net.port("L3", "HUB"))})
+        )
+        from repro.network.packet import EventPayload
+        from repro.core.events import Event
+
+        net.hosts["h3"].send(
+            Packet(
+                dst_address=dz_to_address(dz),
+                payload=EventPayload(Event.of(x=0), dz, "h3", 0.0),
+            )
+        )
+        sim.run()
+        assert net.hosts["h1"].packets_delivered == 1
+        assert net.hosts["h2"].packets_delivered == 1
+
+    def test_no_bounce_back_out_ingress(self, small_net):
+        """A flow whose action points at the ingress port must not echo the
+        packet back where it came from."""
+        sim, net = small_net
+        r1 = net.switches["R1"]
+        r1.table.install(
+            FlowEntry.for_dz(Dz("1"), {Action(net.port("R1", "h1"))})
+        )
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("1")), payload=None)
+        )
+        sim.run()
+        assert net.hosts["h1"].packets_arrived == 0
+
+
+class TestHostCapacity:
+    def test_overload_drops(self):
+        """Arrivals far beyond the processing rate are dropped — the
+        Sec. 6.3 host bottleneck."""
+        sim = Simulator()
+        params = NetworkParams(host_rate_eps=1000, host_queue_capacity=10)
+        net = Network(sim, line(1, hosts_per_switch=2), params=params)
+        h2 = net.hosts["h2"]
+        r1 = net.switches["R1"]
+        r1.table.install(
+            FlowEntry.for_dz(
+                Dz("1"), {Action(net.port("R1", "h2"), set_dest=h2.address)}
+            )
+        )
+        from repro.network.packet import EventPayload
+        from repro.core.events import Event
+
+        for i in range(200):
+            sim.schedule(
+                i * 1e-5,  # 100k events/s into a 1k events/s host
+                net.hosts["h1"].send,
+                Packet(
+                    dst_address=dz_to_address(Dz("1")),
+                    payload=EventPayload(Event.of(x=1), Dz("1"), "h1", 0.0),
+                ),
+            )
+        sim.run()
+        assert h2.packets_dropped > 0
+        assert h2.packets_delivered + h2.packets_dropped == h2.packets_arrived
+
+    def test_below_capacity_no_drops(self):
+        sim = Simulator()
+        params = NetworkParams(host_rate_eps=100_000)
+        net = Network(sim, line(1, hosts_per_switch=2), params=params)
+        h2 = net.hosts["h2"]
+        net.switches["R1"].table.install(
+            FlowEntry.for_dz(
+                Dz("1"), {Action(net.port("R1", "h2"), set_dest=h2.address)}
+            )
+        )
+        from repro.network.packet import EventPayload
+        from repro.core.events import Event
+
+        for i in range(100):
+            sim.schedule(
+                i * 1e-3,
+                net.hosts["h1"].send,
+                Packet(
+                    dst_address=dz_to_address(Dz("1")),
+                    payload=EventPayload(Event.of(x=1), Dz("1"), "h1", 0.0),
+                ),
+            )
+        sim.run()
+        assert h2.packets_dropped == 0
+        assert h2.packets_delivered == 100
+
+
+class TestCounters:
+    def test_link_counters(self, small_net):
+        sim, net = small_net
+        net.switches["R1"].table.install(
+            FlowEntry.for_dz(Dz(""), {Action(net.port("R1", "R2"))})
+        )
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("0")), payload=None, size_bytes=64)
+        )
+        sim.run()
+        assert net.link_between("h1", "R1").total_packets == 1
+        assert net.link_between("R1", "R2").total_bytes == 64
+        assert net.total_link_packets() == 2
+
+    def test_reset_counters(self, small_net):
+        sim, net = small_net
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("0")), payload=None)
+        )
+        sim.run()
+        net.reset_counters()
+        assert net.total_link_packets() == 0
+        assert net.switches["R1"].packets_received == 0

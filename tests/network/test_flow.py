@@ -1,0 +1,158 @@
+"""Unit tests for flow entries and the TCAM table model."""
+
+import pytest
+
+from repro.core.addressing import dz_to_address, dz_to_prefix
+from repro.core.dz import Dz
+from repro.exceptions import FlowTableError
+from repro.network.flow import Action, FlowEntry, FlowTable
+
+
+def entry(bits: str, *ports: int, priority: int | None = None) -> FlowEntry:
+    return FlowEntry.for_dz(
+        Dz(bits), {Action(p) for p in ports}, priority=priority
+    )
+
+
+class TestFlowEntry:
+    def test_default_priority_is_dz_length(self):
+        assert entry("101", 1).priority == 3
+        assert entry("", 1).priority == 0
+
+    def test_dz_round_trip(self):
+        assert entry("0110", 1).dz == Dz("0110")
+
+    def test_out_ports(self):
+        e = FlowEntry.for_dz(Dz("1"), {Action(2), Action(3, set_dest=5)})
+        assert e.out_ports == {2, 3}
+
+    def test_covers_requires_match_and_actions(self):
+        # Sec. 3.3.2: fl1 >= fl2 iff dz covers AND ports superset
+        coarse = entry("10", 2, 3)
+        fine = entry("100", 2)
+        assert coarse.covers(fine)
+        assert not fine.covers(coarse)
+
+    def test_covers_fails_on_missing_port(self):
+        assert not entry("10", 2).covers(entry("100", 2, 3))
+
+    def test_partial_covering(self):
+        # coarser match but missing some actions
+        assert entry("10", 2).partially_covers(entry("100", 2, 3))
+        assert not entry("10", 2, 3).partially_covers(entry("100", 2))
+        # disjoint dz: neither covers nor partially covers
+        assert not entry("11", 2).partially_covers(entry("100", 2, 3))
+
+    def test_set_dest_distinguishes_actions(self):
+        a = FlowEntry.for_dz(Dz("1"), {Action(2, set_dest=10)})
+        b = FlowEntry.for_dz(Dz("1"), {Action(2)})
+        assert not a.covers(b)
+        assert not b.covers(a)
+
+    def test_with_actions_and_priority(self):
+        e = entry("1", 2)
+        e2 = e.with_actions(frozenset({Action(2), Action(3)})).with_priority(9)
+        assert e2.out_ports == {2, 3}
+        assert e2.priority == 9
+        assert e2.match == e.match
+
+
+class TestFlowTableInstall:
+    def test_install_and_get(self):
+        table = FlowTable()
+        e = entry("101", 2)
+        table.install(e)
+        assert table.get(e.match) is e
+        assert table.get_dz(Dz("101")) is e
+        assert len(table) == 1
+
+    def test_install_replaces_same_match(self):
+        table = FlowTable()
+        table.install(entry("101", 2))
+        table.install(entry("101", 2, 3))
+        assert len(table) == 1
+        assert table.get_dz(Dz("101")).out_ports == {2, 3}
+
+    def test_remove(self):
+        table = FlowTable()
+        e = entry("101", 2)
+        table.install(e)
+        removed = table.remove(e.match)
+        assert removed is e
+        assert len(table) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(FlowTableError):
+            FlowTable().remove(dz_to_prefix(Dz("1")))
+
+    def test_capacity_enforced(self):
+        table = FlowTable(capacity=2)
+        table.install(entry("00", 1))
+        table.install(entry("01", 1))
+        with pytest.raises(FlowTableError):
+            table.install(entry("10", 1))
+
+    def test_replace_does_not_consume_capacity(self):
+        table = FlowTable(capacity=1)
+        table.install(entry("00", 1))
+        table.install(entry("00", 2))  # replacement, not addition
+        assert len(table) == 1
+
+    def test_clear(self):
+        table = FlowTable()
+        table.install(entry("0", 1))
+        table.clear()
+        assert len(table) == 0
+
+
+class TestLookup:
+    def test_longest_prefix_wins(self):
+        """The Fig. 3 R3 example: event dz=1001 matches flows dz=1 and
+        dz=100; the longer dz must win via priority."""
+        table = FlowTable()
+        table.install(entry("1", 2))
+        table.install(entry("100", 2, 3))
+        hit = table.lookup(dz_to_address(Dz("1001")))
+        assert hit.dz == Dz("100")
+
+    def test_priority_overrides_length(self):
+        table = FlowTable()
+        table.install(entry("1", 2, priority=10))
+        table.install(entry("100", 3, priority=0))
+        hit = table.lookup(dz_to_address(Dz("1001")))
+        assert hit.dz == Dz("1")
+
+    def test_miss_returns_none_and_counts(self):
+        table = FlowTable()
+        table.install(entry("0", 1))
+        assert table.lookup(dz_to_address(Dz("1"))) is None
+        assert table.misses == 1
+        assert table.lookups == 1
+
+    def test_root_flow_matches_everything_in_range(self):
+        table = FlowTable()
+        table.install(entry("", 1))
+        assert table.lookup(dz_to_address(Dz("10110"))) is not None
+
+    def test_matching_entries_most_specific_first(self):
+        table = FlowTable()
+        table.install(entry("1", 2))
+        table.install(entry("10", 2))
+        table.install(entry("101", 2))
+        hits = table.matching_entries(dz_to_address(Dz("10110")))
+        assert [h.dz for h in hits] == [Dz("101"), Dz("10"), Dz("1")]
+
+    def test_iteration_yields_all(self):
+        table = FlowTable()
+        for bits in ("0", "10", "110"):
+            table.install(entry(bits, 1))
+        assert {e.dz for e in table} == {Dz("0"), Dz("10"), Dz("110")}
+
+    def test_lookup_scales_with_distinct_lengths_only(self):
+        """Many same-length entries do not slow the dict-backed lookup —
+        mirroring the TCAM's occupancy-independent latency (Fig. 7a)."""
+        table = FlowTable()
+        for value in range(2000):
+            table.install(entry(format(value, "011b"), 1))
+        address = dz_to_address(Dz("00000000001"))
+        assert table.lookup(address).dz == Dz("00000000001")

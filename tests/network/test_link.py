@@ -1,0 +1,122 @@
+"""Unit tests for the link model: delay, serialization, queueing."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.link import Link
+from repro.network.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class _StubNode:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def receive(self, packet, in_port):
+        self.received.append((packet, in_port))
+
+    def attach_link(self, port, link):
+        pass
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    a, b = _StubNode("A"), _StubNode("B")
+    link = Link(sim, a, 1, b, 2, delay_s=1e-3, bandwidth_bps=8e6)
+    return sim, a, b, link
+
+
+def packet(size=1000):
+    return Packet(dst_address=0xFF0E << 112, payload=None, size_bytes=size)
+
+
+class TestTransmission:
+    def test_arrival_time_is_serialization_plus_delay(self, rig):
+        sim, a, b, link = rig
+        # 1000 B at 8 Mbit/s = 1 ms serialization, + 1 ms propagation
+        link.transmit(a, packet(1000))
+        sim.run()
+        assert sim.now == pytest.approx(2e-3)
+        assert len(b.received) == 1
+
+    def test_far_port_number(self, rig):
+        sim, a, b, link = rig
+        link.transmit(a, packet())
+        sim.run()
+        assert b.received[0][1] == 2
+        link.transmit(b, packet())
+        sim.run()
+        assert a.received[0][1] == 1
+
+    def test_serialization_queueing_fifo(self, rig):
+        """Back-to-back packets in the same direction serialise: second
+        arrival is one serialization time after the first."""
+        sim, a, b, link = rig
+        arrivals = []
+        b.receive = lambda pkt, port: arrivals.append(sim.now)
+        link.transmit(a, packet(1000))
+        link.transmit(a, packet(1000))
+        sim.run()
+        assert arrivals[0] == pytest.approx(2e-3)
+        assert arrivals[1] == pytest.approx(3e-3)
+
+    def test_directions_independent(self, rig):
+        sim, a, b, link = rig
+        link.transmit(a, packet(1000))
+        link.transmit(b, packet(1000))
+        sim.run()
+        # both arrive at 2 ms: no cross-direction queueing
+        assert len(a.received) == 1 and len(b.received) == 1
+
+    def test_hop_counter_incremented(self, rig):
+        sim, a, b, link = rig
+        p = packet()
+        link.transmit(a, p)
+        sim.run()
+        assert b.received[0][0].hops == 1
+
+
+class TestAccounting:
+    def test_counters(self, rig):
+        sim, a, b, link = rig
+        link.transmit(a, packet(100))
+        link.transmit(b, packet(300))
+        sim.run()
+        assert link.total_packets == 2
+        assert link.total_bytes == 400
+
+    def test_reset_keeps_busy_state(self, rig):
+        sim, a, b, link = rig
+        link.transmit(a, packet())
+        link.reset_counters()
+        assert link.total_packets == 0
+        sim.run()
+        assert len(b.received) == 1  # in-flight packet unaffected
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        a, b = _StubNode("A"), _StubNode("B")
+        with pytest.raises(TopologyError):
+            Link(sim, a, 1, b, 2, delay_s=-1)
+        with pytest.raises(TopologyError):
+            Link(sim, a, 1, b, 2, bandwidth_bps=0)
+
+    def test_foreign_node_rejected(self, rig):
+        sim, a, b, link = rig
+        stranger = _StubNode("C")
+        with pytest.raises(TopologyError):
+            link.transmit(stranger, packet())
+        with pytest.raises(TopologyError):
+            link.endpoint_for(stranger)
+        with pytest.raises(TopologyError):
+            link.port_for(stranger)
+
+    def test_endpoint_for(self, rig):
+        _, a, b, link = rig
+        assert link.endpoint_for(a) == (b, 2)
+        assert link.endpoint_for(b) == (a, 1)
+        assert link.port_for(a) == 1

@@ -1,0 +1,37 @@
+"""Unit tests for packets and event datagram sizing."""
+
+from repro.core.dz import Dz
+from repro.network.packet import Packet, event_packet_size
+
+
+class TestEventPacketSize:
+    def test_within_paper_bound(self):
+        """Sec. 6.2: 'The size of each packet is up to 64 bytes depending
+        upon the length of dz.'"""
+        for length in (0, 1, 8, 16, 64, 112):
+            assert event_packet_size(Dz("0" * length)) <= 64
+
+    def test_grows_with_dz_length(self):
+        assert event_packet_size(Dz("0" * 32)) > event_packet_size(Dz("0"))
+
+    def test_rounding_to_bytes(self):
+        assert event_packet_size(Dz("0")) == event_packet_size(Dz("0" * 8))
+        assert event_packet_size(Dz("0" * 9)) == event_packet_size(Dz("0")) + 1
+
+
+class TestPacket:
+    def test_ids_unique(self):
+        assert Packet(dst_address=1, payload=None).packet_id != Packet(
+            dst_address=1, payload=None
+        ).packet_id
+
+    def test_with_destination_preserves_identity(self):
+        original = Packet(dst_address=1, payload="x", size_bytes=10)
+        original.hops = 3
+        copy = original.with_destination(2)
+        assert copy.dst_address == 2
+        assert copy.packet_id == original.packet_id
+        assert copy.payload == "x"
+        assert copy.size_bytes == 10
+        assert copy.hops == 3
+        assert original.dst_address == 1  # original untouched

@@ -1,0 +1,108 @@
+"""Unit tests for link-utilization sampling."""
+
+import pytest
+
+from repro.core.addressing import dz_to_address
+from repro.core.dz import Dz
+from repro.exceptions import TopologyError
+from repro.network.fabric import Network, NetworkParams
+from repro.network.flow import Action, FlowEntry
+from repro.network.packet import Packet
+from repro.network.stats import LinkUtilizationSampler
+from repro.network.topology import line
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    net = Network(
+        sim,
+        line(3, hosts_per_switch=1),
+        params=NetworkParams(bandwidth_bps=8e6),  # 1 MB/s
+    )
+    net.switches["R1"].table.install(
+        FlowEntry.for_dz(Dz("1"), {Action(net.port("R1", "R2"))})
+    )
+    net.switches["R2"].table.install(
+        FlowEntry.for_dz(
+            Dz("1"),
+            {Action(net.port("R2", "h2"), set_dest=net.hosts["h2"].address)},
+        )
+    )
+    return sim, net
+
+
+def blast(sim, net, packets: int, size: int = 1000, interval: float = 1e-3):
+    for i in range(packets):
+        sim.schedule(
+            i * interval,
+            net.hosts["h1"].send,
+            Packet(
+                dst_address=dz_to_address(Dz("1")),
+                payload=None,
+                size_bytes=size,
+            ),
+        )
+    sim.run()
+
+
+class TestSampling:
+    def test_only_switch_links_tracked(self, rig):
+        _, net = rig
+        sampler = LinkUtilizationSampler(net)
+        samples = sampler.sample()
+        assert all(
+            all(name in net.switches for name in key) for key in samples
+        )
+        assert len(samples) == 2  # R1-R2 and R2-R3
+
+    def test_utilization_measured(self, rig):
+        sim, net = rig
+        sampler = LinkUtilizationSampler(net)
+        # 100 packets x 1000 B over 0.1 s on an 8 Mbit/s link = 100% load
+        blast(sim, net, 100, size=1000, interval=1e-3)
+        sampler.sample()
+        hot = sampler.latest("R1", "R2")
+        assert hot.utilization == pytest.approx(1.0, rel=0.15)
+        idle = sampler.latest("R2", "R3")
+        assert idle.utilization == 0.0
+
+    def test_windows_are_deltas(self, rig):
+        sim, net = rig
+        sampler = LinkUtilizationSampler(net)
+        blast(sim, net, 50)
+        sampler.sample()
+        # quiet window: utilization drops to zero
+        sim.run(until=sim.now + 1.0)
+        sampler.sample()
+        assert sampler.latest("R1", "R2").utilization == 0.0
+
+    def test_hottest(self, rig):
+        sim, net = rig
+        sampler = LinkUtilizationSampler(net)
+        blast(sim, net, 30)
+        sampler.sample()
+        key, sample = sampler.hottest()
+        assert key == frozenset(("R1", "R2"))
+        assert sample.utilization > 0
+
+    def test_hottest_requires_samples(self, rig):
+        _, net = rig
+        with pytest.raises(TopologyError):
+            LinkUtilizationSampler(net).hottest()
+
+    def test_unknown_link(self, rig):
+        _, net = rig
+        sampler = LinkUtilizationSampler(net)
+        with pytest.raises(TopologyError):
+            sampler.latest("R1", "R9")
+        with pytest.raises(TopologyError):
+            sampler.history("R1", "R9")
+
+    def test_history_bounded(self, rig):
+        sim, net = rig
+        sampler = LinkUtilizationSampler(net)
+        for _ in range(300):
+            sampler.sample()
+        assert len(sampler.history("R1", "R2")) == 256

@@ -1,0 +1,124 @@
+"""Unit tests for the switch model beyond the fabric-level tests."""
+
+import pytest
+
+from repro.core.addressing import dz_to_address
+from repro.core.dz import Dz
+from repro.exceptions import TopologyError
+from repro.network.fabric import Network, NetworkParams
+from repro.network.flow import Action, FlowEntry
+from repro.network.packet import Packet
+from repro.network.topology import line, star
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    net = Network(sim, line(2, hosts_per_switch=1))
+    return sim, net
+
+
+class TestPorts:
+    def test_port_to(self, rig):
+        _, net = rig
+        r1 = net.switches["R1"]
+        assert r1.port_to("R2") == net.port("R1", "R2")
+        with pytest.raises(TopologyError):
+            r1.port_to("R9")
+
+    def test_double_attach_rejected(self, rig):
+        _, net = rig
+        r1 = net.switches["R1"]
+        link = net.link_between("R1", "R2")
+        with pytest.raises(TopologyError):
+            r1.attach_link(net.port("R1", "R2"), link)
+
+    def test_send_via_unknown_port(self, rig):
+        _, net = rig
+        with pytest.raises(TopologyError):
+            net.switches["R1"].send_via_port(99, Packet(dst_address=1, payload=None))
+
+
+class TestForwardingDetails:
+    def test_lookup_delay_applied(self):
+        sim = Simulator()
+        params = NetworkParams(
+            switch_lookup_delay_s=1e-3, switch_lookup_jitter_s=0.0,
+            link_delay_s=0.0,
+        )
+        net = Network(sim, line(1, hosts_per_switch=2), params=params)
+        h2 = net.hosts["h2"]
+        net.switches["R1"].table.install(
+            FlowEntry.for_dz(
+                Dz("1"), {Action(net.port("R1", "h2"), set_dest=h2.address)}
+            )
+        )
+        net.hosts["h1"].send(Packet(dst_address=dz_to_address(Dz("1")), payload=None))
+        sim.run()
+        # one lookup delay plus two (zero-latency) link serializations and
+        # the host's service time
+        assert sim.now >= 1e-3
+
+    def test_action_to_missing_port_counts_drop(self, rig):
+        sim, net = rig
+        r1 = net.switches["R1"]
+        r1.table.install(FlowEntry.for_dz(Dz("1"), {Action(99)}))
+        net.hosts["h1"].send(Packet(dst_address=dz_to_address(Dz("1")), payload=None))
+        sim.run()
+        assert r1.packets_dropped == 1
+
+    def test_statistics_counters(self, rig):
+        sim, net = rig
+        r1 = net.switches["R1"]
+        r1.table.install(
+            FlowEntry.for_dz(Dz("1"), {Action(net.port("R1", "R2"))})
+        )
+        net.hosts["h1"].send(Packet(dst_address=dz_to_address(Dz("1")), payload=None))
+        net.hosts["h1"].send(Packet(dst_address=dz_to_address(Dz("0")), payload=None))
+        sim.run()
+        assert r1.packets_received == 2
+        assert r1.packets_forwarded == 1
+        assert r1.packets_dropped == 1
+
+    def test_multicast_fanout_counts_each_port(self):
+        sim = Simulator()
+        net = Network(sim, star(3, hosts_per_leaf=0))
+        hub = net.switches["HUB"]
+        hub.table.install(
+            FlowEntry.for_dz(
+                Dz(""),
+                {
+                    Action(net.port("HUB", "L1")),
+                    Action(net.port("HUB", "L2")),
+                    Action(net.port("HUB", "L3")),
+                },
+            )
+        )
+        hub.receive(
+            Packet(dst_address=dz_to_address(Dz("0")), payload=None),
+            in_port=net.port("HUB", "L3"),
+        )
+        sim.run()
+        # ingress-port action suppressed: only two copies leave
+        assert hub.packets_forwarded == 2
+
+    def test_rewrite_changes_only_the_copy(self, rig):
+        """The set-dest action must not mutate the original packet object
+        (other tree branches still need the dz address)."""
+        sim, net = rig
+        h2 = net.hosts["h2"]
+        r1, r2 = net.switches["R1"], net.switches["R2"]
+        r1.table.install(
+            FlowEntry.for_dz(Dz("1"), {Action(net.port("R1", "R2"))})
+        )
+        r2.table.install(
+            FlowEntry.for_dz(
+                Dz("1"), {Action(net.port("R2", "h2"), set_dest=h2.address)}
+            )
+        )
+        original = Packet(dst_address=dz_to_address(Dz("1")), payload=None)
+        net.hosts["h1"].send(original)
+        sim.run()
+        assert original.dst_address == dz_to_address(Dz("1"))
+        assert h2.packets_arrived == 1

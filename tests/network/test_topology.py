@@ -1,0 +1,168 @@
+"""Unit tests for topology descriptions, builders and partitioning."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.topology import (
+    Topology,
+    line,
+    mininet_fat_tree,
+    paper_fat_tree,
+    partition_switches,
+    ring,
+    star,
+)
+
+
+class TestConstruction:
+    def test_add_and_query(self):
+        topo = Topology()
+        topo.add_switch("R1")
+        topo.add_host("h1", "R1")
+        assert topo.is_switch("R1")
+        assert topo.is_host("h1")
+        assert topo.access_switch("h1") == "R1"
+        assert topo.hosts_of("R1") == ["h1"]
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_switch("R1")
+        with pytest.raises(TopologyError):
+            topo.add_switch("R1")
+
+    def test_host_needs_switch(self):
+        topo = Topology()
+        topo.add_switch("R1")
+        topo.add_host("h1", "R1")
+        with pytest.raises(TopologyError):
+            topo.add_host("h2", "h1")
+
+    def test_host_single_attachment(self):
+        topo = Topology()
+        topo.add_switch("R1")
+        topo.add_switch("R2")
+        topo.add_link("R1", "R2")
+        topo.add_host("h1", "R1")
+        with pytest.raises(TopologyError):
+            topo.add_link("h1", "R2")
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_switch("R1")
+        topo.add_switch("R2")
+        topo.add_link("R1", "R2")
+        with pytest.raises(TopologyError):
+            topo.add_link("R2", "R1")
+
+    def test_link_between(self):
+        topo = line(2, hosts_per_switch=0)
+        spec = topo.link_between("R1", "R2")
+        assert {spec.a, spec.b} == {"R1", "R2"}
+        with pytest.raises(TopologyError):
+            topo.link_between("R1", "R9")
+
+
+class TestPaths:
+    def test_shortest_path(self):
+        topo = line(4, hosts_per_switch=1)
+        path = topo.shortest_path("h1", "h4")
+        assert path[0] == "h1" and path[-1] == "h4"
+        assert path[1:-1] == ["R1", "R2", "R3", "R4"]
+
+    def test_no_path(self):
+        topo = Topology()
+        topo.add_switch("R1")
+        topo.add_switch("R2")
+        with pytest.raises(TopologyError):
+            topo.shortest_path("R1", "R2")
+
+    def test_shortest_path_tree_parents(self):
+        topo = line(4, hosts_per_switch=0)
+        parents = topo.shortest_path_tree("R1")
+        assert parents == {"R2": "R1", "R3": "R2", "R4": "R3"}
+
+    def test_shortest_path_tree_respects_subset(self):
+        topo = ring(6, hosts_per_switch=0)
+        # restrict to an arc: the tree cannot shortcut around the ring
+        parents = topo.shortest_path_tree("R1", switches=["R1", "R2", "R3"])
+        assert parents == {"R2": "R1", "R3": "R2"}
+
+    def test_diameter_path_on_line(self):
+        topo = line(5, hosts_per_switch=1)
+        ends = set(topo.diameter_path())
+        assert ends == {"h1", "h5"}
+
+
+class TestBuilders:
+    def test_paper_fat_tree_shape(self):
+        topo = paper_fat_tree()
+        assert len(topo.switches()) == 10
+        assert len(topo.hosts()) == 8
+        # every edge switch has two hosts; cores have none
+        assert len(topo.hosts_of("R7")) == 2
+        assert topo.hosts_of("R1") == []
+        assert nx.is_connected(topo.graph)
+
+    def test_paper_fat_tree_is_multipath(self):
+        topo = paper_fat_tree()
+        sg = topo.switch_graph()
+        sg.remove_node("R1")  # losing one core must not partition the fabric
+        assert nx.is_connected(sg)
+
+    def test_mininet_fat_tree_has_20_switches(self):
+        topo = mininet_fat_tree()
+        assert len(topo.switches()) == 20
+        assert nx.is_connected(topo.graph)
+
+    def test_ring_shape(self):
+        topo = ring(20)
+        assert len(topo.switches()) == 20
+        assert len(topo.hosts()) == 20
+        sg = topo.switch_graph()
+        assert all(d == 2 for _, d in sg.degree())
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_star(self):
+        topo = star(4)
+        assert len(topo.switches()) == 5
+        assert topo.switch_graph().degree("HUB") == 4
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 10])
+    def test_ring_partitions(self, count):
+        topo = ring(20)
+        parts = partition_switches(topo, count)
+        assert len(parts) == count
+        all_switches = set().union(*parts)
+        assert all_switches == set(topo.switches())
+        # pairwise disjoint
+        assert sum(len(p) for p in parts) == len(all_switches)
+        # each connected
+        sg = topo.switch_graph()
+        for part in parts:
+            assert nx.is_connected(sg.subgraph(part))
+
+    def test_fat_tree_partitions_connected(self):
+        topo = mininet_fat_tree()
+        for count in (2, 4, 6):
+            parts = partition_switches(topo, count)
+            sg = topo.switch_graph()
+            for part in parts:
+                assert nx.is_connected(sg.subgraph(part))
+
+    def test_partition_bounds(self):
+        topo = ring(5, hosts_per_switch=0)
+        with pytest.raises(TopologyError):
+            partition_switches(topo, 0)
+        with pytest.raises(TopologyError):
+            partition_switches(topo, 6)
+
+    def test_single_partition_is_everything(self):
+        topo = paper_fat_tree()
+        parts = partition_switches(topo, 1)
+        assert parts == [set(topo.switches())]

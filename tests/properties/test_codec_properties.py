@@ -1,0 +1,87 @@
+"""Property-based round-trip tests for the wire codecs."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.codec import (
+    decode_dzset,
+    decode_event,
+    decode_filter,
+    decode_subscription,
+    encode_dzset,
+    encode_event,
+    encode_filter,
+    encode_subscription,
+    from_bytes,
+    to_bytes,
+)
+from repro.core.dz import Dz
+from repro.core.dzset import DzSet
+from repro.core.events import Event
+from repro.core.subscription import Filter, Subscription
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+)
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+
+
+@st.composite
+def events(draw):
+    values = draw(
+        st.dictionaries(names, finite, min_size=0, max_size=5)
+    )
+    return Event(values=values, event_id=draw(st.integers(0, 2**31)))
+
+
+@st.composite
+def filters(draw):
+    predicates = {}
+    for name in draw(st.lists(names, max_size=4, unique=True)):
+        low = draw(finite)
+        high = draw(
+            st.floats(
+                min_value=low,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        predicates[name] = (low, high)
+    return Filter.of(**predicates)
+
+
+dzsets = st.lists(
+    st.text(alphabet="01", max_size=10), max_size=6
+).map(lambda items: DzSet.of(*items))
+
+
+class TestRoundTripProperties:
+    @given(events())
+    def test_event(self, event):
+        assert decode_event(from_bytes(to_bytes(encode_event(event)))) == event
+
+    @given(filters())
+    def test_filter(self, filt):
+        assert decode_filter(encode_filter(filt)) == filt
+
+    @given(filters())
+    def test_subscription(self, filt):
+        sub = Subscription(filter=filt)
+        decoded = decode_subscription(
+            from_bytes(to_bytes(encode_subscription(sub)))
+        )
+        assert decoded == sub
+        assert decoded.sub_id == sub.sub_id
+
+    @given(dzsets)
+    def test_dzset(self, dzset):
+        assert decode_dzset(encode_dzset(dzset)) == dzset
+
+    @given(events())
+    def test_bytes_are_stable(self, event):
+        a = to_bytes(encode_event(event))
+        b = to_bytes(encode_event(decode_event(from_bytes(a))))
+        assert a == b

@@ -1,0 +1,215 @@
+"""Property-based tests of controller-level invariants.
+
+The headline guarantee of a publish/subscribe system: **no false
+negatives** — every subscriber receives every advertised event matching one
+of its subscriptions, regardless of workload, and the two installation
+strategies behave identically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Filter, Subscription
+from repro.network.topology import line, paper_fat_tree
+from tests.helpers import make_system
+
+int_values = st.integers(min_value=0, max_value=1023)
+
+
+@st.composite
+def filters_1d(draw):
+    low = draw(int_values)
+    high = draw(st.integers(min_value=low, max_value=1023))
+    return Filter.of(attr0=(low, high))
+
+
+@st.composite
+def workloads(draw):
+    """A small random workload: per-host subscriptions plus events."""
+    subs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["h2", "h3", "h4"]), filters_1d()),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    events = draw(st.lists(int_values, min_size=1, max_size=8))
+    return subs, events
+
+
+class TestNoFalseNegatives:
+    @settings(max_examples=40, deadline=None)
+    @given(workloads())
+    def test_every_matching_event_is_delivered(self, workload):
+        subs, events = workload
+        system = make_system(line(4), max_dz_length=12)
+        system.controller.advertise(
+            "h1", Advertisement.of(attr0=(0, 1023))
+        )
+        host_filters: dict[str, list[Filter]] = {}
+        for host, filt in subs:
+            system.controller.subscribe("h4" if host == "h1" else host,
+                                        Subscription(filter=filt))
+            host_filters.setdefault(
+                "h4" if host == "h1" else host, []
+            ).append(filt)
+        for value in events:
+            system.publish("h1", Event.of(attr0=value))
+        system.run()
+        for host, filts in host_filters.items():
+            expected = [
+                v
+                for v in events
+                if any(f.matches(Event.of(attr0=v)) for f in filts)
+            ]
+            got = [e.value("attr0") for e in system.delivered_events(host)]
+            for value in expected:
+                assert value in got, (
+                    f"host {host} missed event {value} (got {got})"
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(workloads())
+    def test_install_modes_equivalent(self, workload):
+        subs, events = workload
+        deliveries = {}
+        for mode in ("reconcile", "incremental"):
+            system = make_system(line(4), max_dz_length=12, install_mode=mode)
+            system.controller.advertise(
+                "h1", Advertisement.of(attr0=(0, 1023))
+            )
+            for host, filt in subs:
+                system.controller.subscribe(host, Subscription(filter=filt))
+            for value in events:
+                system.publish("h1", Event.of(attr0=value))
+            system.run()
+            deliveries[mode] = {
+                host: sorted(
+                    e.value("attr0") for e in system.delivered_events(host)
+                )
+                for host in ("h2", "h3", "h4")
+            }
+        assert deliveries["reconcile"] == deliveries["incremental"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(workloads(), st.integers(min_value=0, max_value=4))
+    def test_unsubscribe_preserves_other_subscribers(self, workload, drop_idx):
+        """Removing one subscription never disturbs the others."""
+        subs, events = workload
+        if drop_idx >= len(subs):
+            drop_idx = len(subs) - 1
+        system = make_system(line(4), max_dz_length=12)
+        system.controller.advertise("h1", Advertisement.of(attr0=(0, 1023)))
+        states = []
+        for host, filt in subs:
+            states.append(
+                (host, filt, system.controller.subscribe(
+                    host, Subscription(filter=filt)
+                ))
+            )
+        dropped_host, _, dropped_state = states[drop_idx]
+        system.controller.unsubscribe(dropped_state.sub_id)
+        system.controller.check_invariants()
+        for value in events:
+            system.publish("h1", Event.of(attr0=value))
+        system.run()
+        survivors: dict[str, list[Filter]] = {}
+        for i, (host, filt, _) in enumerate(states):
+            if i != drop_idx:
+                survivors.setdefault(host, []).append(filt)
+        for host, filts in survivors.items():
+            got = [e.value("attr0") for e in system.delivered_events(host)]
+            for value in events:
+                if any(f.matches(Event.of(attr0=value)) for f in filts):
+                    assert value in got
+
+    @settings(max_examples=20, deadline=None)
+    @given(workloads(), st.lists(st.integers(0, 9), max_size=6))
+    def test_history_independence_of_delivery(self, workload, churn):
+        """Delivery behaviour depends only on the *surviving* requests,
+        not on the order or churn through which they arrived.
+
+        Tree structures may legitimately differ between histories (roots
+        depend on arrival order), but the events each host receives must
+        not."""
+        subs, events = workload
+
+        def deliveries(with_churn: bool):
+            system = make_system(line(4), max_dz_length=12)
+            system.controller.advertise(
+                "h1", Advertisement.of(attr0=(0, 1023))
+            )
+            if with_churn:
+                # transient subscriptions/advertisements, later withdrawn
+                transient_subs = []
+                transient_advs = []
+                for i, index in enumerate(churn):
+                    host = ["h2", "h3", "h4"][index % 3]
+                    low = (index * 97) % 1024
+                    if i % 2 == 0:
+                        transient_subs.append(
+                            system.controller.subscribe(
+                                host,
+                                Subscription(
+                                    filter=Filter.of(
+                                        attr0=(low, min(1023, low + 128))
+                                    )
+                                ),
+                            )
+                        )
+                    else:
+                        transient_advs.append(
+                            system.controller.advertise(
+                                host,
+                                Advertisement(
+                                    filter=Filter.of(
+                                        attr0=(low, min(1023, low + 64))
+                                    )
+                                ),
+                            )
+                        )
+                for state in transient_subs:
+                    system.controller.unsubscribe(state.sub_id)
+                for state in transient_advs:
+                    system.controller.unadvertise(state.adv_id)
+            for host, filt in subs:
+                system.controller.subscribe(host, Subscription(filter=filt))
+            for value in events:
+                system.publish("h1", Event.of(attr0=value))
+            system.run()
+            system.controller.check_invariants()
+            return {
+                host: sorted(
+                    e.value("attr0") for e in system.delivered_events(host)
+                )
+                for host in ("h2", "h3", "h4")
+            }
+
+        assert deliveries(False) == deliveries(True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(workloads())
+    def test_tree_merging_preserves_delivery(self, workload):
+        """An aggressive merge threshold must not lose events."""
+        subs, events = workload
+        publishers = ["h1", "h2", "h5", "h7"]
+        system = make_system(
+            paper_fat_tree(), max_dz_length=12, merge_threshold=1
+        )
+        # several publishers with narrow advertisements force merges
+        quarters = [(0, 255), (256, 511), (512, 767), (768, 1023)]
+        for host, quarter in zip(publishers, quarters):
+            system.controller.advertise(
+                host, Advertisement.of(attr0=quarter)
+            )
+        system.controller.subscribe("h8", Subscription.of(attr0=(0, 1023)))
+        system.controller.check_invariants()
+        for value in events:
+            publisher = publishers[value * 4 // 1024]
+            system.publish(publisher, Event.of(attr0=value))
+        system.run()
+        got = [e.value("attr0") for e in system.delivered_events("h8")]
+        for value in events:
+            if publishers[value * 4 // 1024] != "h8":
+                assert value in got

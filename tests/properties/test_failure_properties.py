@@ -1,0 +1,110 @@
+"""Property-based tests for failure repair.
+
+On a 2-edge-connected fabric (the fat tree core), the repair machinery
+must preserve the delivery contract across any single internal link
+failure and any sequence of survivable failures.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Subscription
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import paper_fat_tree, ring
+
+int_values = st.integers(min_value=0, max_value=1023)
+
+
+def _switch_edges(topology):
+    return sorted(
+        (spec.a, spec.b)
+        for spec in topology.links()
+        if topology.is_switch(spec.a) and topology.is_switch(spec.b)
+    )
+
+
+class TestSingleFailure:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.lists(int_values, min_size=1, max_size=5),
+    )
+    def test_any_single_fat_tree_link_survivable(self, edge_index, values):
+        """The fat tree stays connected after any one switch-switch link
+        dies; repair must preserve every matching delivery."""
+        middleware = Pleroma(paper_fat_tree(), dimensions=1, max_dz_length=10)
+        publisher = middleware.publisher("h1")
+        publisher.advertise(Advertisement.of(attr0=(0, 1023)).filter)
+        subscriber = middleware.subscriber("h8")
+        subscriber.subscribe(Subscription.of(attr0=(0, 1023)).filter)
+        edges = _switch_edges(middleware.topology)
+        a, b = edges[edge_index % len(edges)]
+        middleware.fail_link(a, b)
+        for i, value in enumerate(values):
+            publisher.publish(Event.of(event_id=i + 1, attr0=value))
+        middleware.run()
+        assert len(subscriber.matched) == len(values)
+        middleware.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=15),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+        st.lists(int_values, min_size=1, max_size=4),
+    )
+    def test_sequential_failures_until_disconnection(self, edge_indices, values):
+        """Multiple failures: each either repairs cleanly or raises on
+        genuine disconnection — it must never silently lose events."""
+        from repro.exceptions import ControllerError
+
+        middleware = Pleroma(paper_fat_tree(), dimensions=1, max_dz_length=10)
+        publisher = middleware.publisher("h1")
+        publisher.advertise(Advertisement.of(attr0=(0, 1023)).filter)
+        subscriber = middleware.subscriber("h8")
+        subscriber.subscribe(Subscription.of(attr0=(0, 1023)).filter)
+        edges = _switch_edges(middleware.topology)
+        survived = True
+        for index in edge_indices:
+            a, b = edges[index % len(edges)]
+            if frozenset((a, b)) not in {
+                frozenset((s.a, s.b)) for s in middleware.topology.links()
+            }:
+                continue  # already removed by an earlier failure
+            try:
+                middleware.fail_link(a, b)
+            except ControllerError:
+                survived = False
+                break
+        if not survived:
+            return  # disconnection correctly refused
+        for i, value in enumerate(values):
+            publisher.publish(Event.of(event_id=i + 1, attr0=value))
+        middleware.run()
+        assert len(subscriber.matched) == len(values)
+        middleware.check_invariants()
+
+
+class TestRingRepair:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.lists(int_values, min_size=1, max_size=4),
+    )
+    def test_ring_survives_any_single_link(self, edge_index, values):
+        middleware = Pleroma(ring(6), dimensions=1, max_dz_length=8)
+        publisher = middleware.publisher("h1")
+        publisher.advertise(Advertisement.of(attr0=(0, 1023)).filter)
+        subscriber = middleware.subscriber("h4")
+        subscriber.subscribe(Subscription.of(attr0=(0, 1023)).filter)
+        edges = _switch_edges(middleware.topology)
+        a, b = edges[edge_index % len(edges)]
+        middleware.fail_link(a, b)
+        for i, value in enumerate(values):
+            publisher.publish(Event.of(event_id=i + 1, attr0=value))
+        middleware.run()
+        assert len(subscriber.matched) == len(values)

@@ -1,0 +1,172 @@
+"""Property-based tests of multi-partition interoperability.
+
+Whatever the workload and partitioning, the federation must preserve the
+pub/sub contract: every advertised event matching a subscription arrives
+at its subscriber **exactly once**, regardless of which partitions the
+publisher and subscriber live in.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.subscription import Advertisement, Subscription
+from repro.network.topology import line, ring
+from tests.helpers import make_federated_system
+
+int_values = st.integers(min_value=0, max_value=1023)
+
+
+@st.composite
+def federated_workloads(draw):
+    partitions = draw(st.integers(min_value=1, max_value=3))
+    pub_host = draw(st.sampled_from(["h1", "h3", "h5"]))
+    subs = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["h2", "h4", "h6"]),
+                int_values,
+                int_values,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    events = draw(st.lists(int_values, min_size=1, max_size=6))
+    use_ring = draw(st.booleans())
+    return partitions, pub_host, subs, events, use_ring
+
+
+class TestFederatedContract:
+    @settings(max_examples=25, deadline=None)
+    @given(federated_workloads())
+    def test_exactly_once_matching_delivery(self, workload):
+        partitions, pub_host, subs, events, use_ring = workload
+        topo = ring(6) if use_ring else line(6)
+        system = make_federated_system(topo, partitions, max_dz_length=10)
+        system.federation.advertise(
+            pub_host, Advertisement.of(attr0=(0, 1023))
+        )
+        system.run()
+        host_filters: dict[str, list] = {}
+        for host, lo, hi in subs:
+            low, high = min(lo, hi), max(lo, hi)
+            sub = Subscription.of(attr0=(low, high))
+            system.federation.subscribe(host, sub)
+            host_filters.setdefault(host, []).append(sub)
+            system.run()
+        for i, value in enumerate(events):
+            system.publish(pub_host, Event.of(event_id=i + 1, attr0=value))
+        system.run()
+        for host, filters in host_filters.items():
+            if host == pub_host:
+                continue
+            got = [e.value("attr0") for e in system.delivered_events(host)]
+            for value in events:
+                matching = any(
+                    f.matches(Event.of(attr0=value)) for f in filters
+                )
+                if matching:
+                    # at least once (no false negatives) ...
+                    assert value in got, (
+                        f"{host} missed {value} over {partitions} partitions"
+                    )
+            # ... and never twice (no cyclic duplication)
+            from collections import Counter
+
+            counts = Counter(
+                e.event_id for e in system.delivered_events(host)
+            )
+            assert all(c == 1 for c in counts.values()), counts
+        system.federation.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["h2", "h4", "h6"]),
+                int_values,
+                int_values,
+            ),
+            min_size=2,
+            max_size=5,
+        ),
+        st.lists(st.integers(0, 4), max_size=3),
+        st.lists(int_values, min_size=1, max_size=5),
+    )
+    def test_withdrawal_churn_preserves_survivors(
+        self, partitions, subs, drops, events
+    ):
+        """Unsubscribing some random subset (including covering/covered
+        combinations) never disturbs the survivors, across partitions."""
+        system = make_federated_system(line(6), partitions, max_dz_length=10)
+        system.federation.advertise("h1", Advertisement.of(attr0=(0, 1023)))
+        system.run()
+        states = []
+        for host, lo, hi in subs:
+            low, high = min(lo, hi), max(lo, hi)
+            sub = Subscription.of(attr0=(low, high))
+            state = system.federation.subscribe(host, sub)
+            states.append((host, sub, state))
+            system.run()
+        dropped = set()
+        for index in drops:
+            pos = index % len(states)
+            if pos in dropped:
+                continue
+            host, _, state = states[pos]
+            system.federation.unsubscribe(host, state.sub_id)
+            dropped.add(pos)
+            system.run()
+        for i, value in enumerate(events):
+            system.publish("h1", Event.of(event_id=i + 1, attr0=value))
+        system.run()
+        from collections import Counter
+
+        survivors: dict[str, list] = {}
+        for pos, (host, sub, _) in enumerate(states):
+            if pos not in dropped:
+                survivors.setdefault(host, []).append(sub)
+        for host, filters in survivors.items():
+            if host == "h1":
+                continue
+            got = Counter(
+                e.event_id for e in system.delivered_events(host)
+            )
+            for i, value in enumerate(events):
+                if any(f.matches(Event.of(attr0=value)) for f in filters):
+                    assert got[i + 1] == 1, (
+                        f"{host} got event {i + 1} {got[i + 1]} times "
+                        f"after dropping {sorted(dropped)}"
+                    )
+        system.federation.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.lists(int_values, min_size=1, max_size=5),
+    )
+    def test_partition_count_invisible_to_clients(self, partitions, events):
+        """The same workload delivers the same matched events whether the
+        network is one partition or several."""
+        outcomes = []
+        for count in (1, partitions):
+            system = make_federated_system(line(6), count, max_dz_length=10)
+            system.federation.advertise(
+                "h1", Advertisement.of(attr0=(0, 1023))
+            )
+            system.run()
+            system.federation.subscribe(
+                "h6", Subscription.of(attr0=(0, 511))
+            )
+            system.run()
+            for i, value in enumerate(events):
+                system.publish("h1", Event.of(event_id=i + 1, attr0=value))
+            system.run()
+            outcomes.append(
+                sorted(
+                    e.event_id for e in system.delivered_events("h6")
+                )
+            )
+        assert outcomes[0] == outcomes[1]

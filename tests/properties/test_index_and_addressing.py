@@ -1,0 +1,118 @@
+"""Property-based tests: spatial index soundness, addressing round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import (
+    address_to_dz,
+    dz_to_address,
+    dz_to_prefix,
+    prefix_to_dz,
+)
+from repro.core.dz import Dz
+from repro.core.events import Event, EventSpace
+from repro.core.spatial_index import SpatialIndexer
+from repro.core.subscription import Filter, Subscription
+
+bits = st.text(alphabet="01", min_size=0, max_size=40)
+
+SPACE = EventSpace.paper_schema(3)
+INDEXER = SpatialIndexer(SPACE, max_dz_length=15, max_cells=64)
+
+int_values = st.integers(min_value=0, max_value=1023)
+
+
+@st.composite
+def integer_events(draw):
+    return Event.of(
+        attr0=draw(int_values), attr1=draw(int_values), attr2=draw(int_values)
+    )
+
+
+@st.composite
+def integer_filters(draw):
+    """Random rectangular subscriptions over 1-3 of the dimensions."""
+    names = draw(
+        st.lists(
+            st.sampled_from(["attr0", "attr1", "attr2"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    ranges = {}
+    for name in names:
+        low = draw(int_values)
+        high = draw(st.integers(min_value=low, max_value=1023))
+        ranges[name] = (low, high)
+    return Filter.of(**ranges)
+
+
+class TestAddressingProperties:
+    @given(bits)
+    def test_round_trip(self, b):
+        dz = Dz(b)
+        assert prefix_to_dz(dz_to_prefix(dz)) == dz
+        assert address_to_dz(dz_to_address(dz), len(dz)) == dz
+
+    @given(bits, bits)
+    def test_prefix_covering_mirrors_dz_covering(self, a, b):
+        assert dz_to_prefix(Dz(a)).covers(dz_to_prefix(Dz(b))) == Dz(a).covers(
+            Dz(b)
+        )
+
+    @given(bits, bits)
+    def test_event_address_matches_iff_flow_covers(self, flow_bits, event_bits):
+        """Holds whenever the event dz is at least as long as the flow dz —
+        which the system guarantees: events carry maximal-length dz, flows
+        carry (shorter) subscription overlaps.  A *shorter* event dz can
+        spuriously match through zero padding, which is exactly why events
+        are stamped with maximum length (Sec. 2)."""
+        if len(event_bits) < len(flow_bits):
+            event_bits = (event_bits + "0" * len(flow_bits))[: len(flow_bits)]
+        flow = dz_to_prefix(Dz(flow_bits))
+        address = dz_to_address(Dz(event_bits))
+        assert flow.matches(address) == Dz(flow_bits).covers(Dz(event_bits))
+
+
+class TestSpatialIndexSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(integer_filters(), integer_events())
+    def test_no_false_negatives(self, filt, event):
+        """Every event matching a filter must land inside the filter's
+        enclosing DZ approximation — the network may over-deliver but never
+        under-deliver."""
+        sub = Subscription(filter=filt)
+        if sub.matches(event):
+            region = INDEXER.filter_to_dzset(filt)
+            assert INDEXER.matches(region, event)
+
+    @settings(max_examples=60, deadline=None)
+    @given(integer_filters())
+    def test_members_within_length(self, filt):
+        region = INDEXER.filter_to_dzset(filt)
+        assert all(len(dz) <= INDEXER.max_dz_length for dz in region)
+        assert len(region) <= INDEXER.max_cells
+
+    @settings(max_examples=60, deadline=None)
+    @given(integer_filters())
+    def test_coarser_budget_over_approximates(self, filt):
+        tight = SpatialIndexer(SPACE, max_dz_length=15, max_cells=4)
+        assert tight.filter_to_dzset(filt).covers(INDEXER.filter_to_dzset(filt))
+
+    @settings(max_examples=100, deadline=None)
+    @given(integer_events(), st.integers(min_value=1, max_value=15))
+    def test_event_dz_nested_across_lengths(self, event, length):
+        """Truncating the indexing length coarsens the event's cell: the
+        shorter dz is always a prefix of the longer one."""
+        fine = INDEXER.event_to_dz(event, length=15)
+        coarse = INDEXER.event_to_dz(event, length=length)
+        assert coarse.covers(fine)
+
+    @settings(max_examples=100, deadline=None)
+    @given(integer_events())
+    def test_event_point_in_own_cell(self, event):
+        dz = INDEXER.event_to_dz(event)
+        cell = INDEXER.cell(dz)
+        for coordinate, (lo, hi) in zip(SPACE.point(event), cell):
+            assert lo <= coordinate < hi

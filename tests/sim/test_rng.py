@@ -1,0 +1,61 @@
+"""Unit tests for seeded randomness helpers and the zipf sampler."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.sim.rng import ZipfSampler, make_numpy_rng, make_rng
+
+
+class TestFactories:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seed_different_stream(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_numpy_rng_seeded(self):
+        a = make_numpy_rng(3).integers(0, 1000, 10)
+        b = make_numpy_rng(3).integers(0, 1000, 10)
+        assert list(a) == list(b)
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        z = ZipfSampler(7, exponent=1.0)
+        assert sum(z.probabilities()) == pytest.approx(1.0)
+
+    def test_rank_zero_is_most_likely(self):
+        z = ZipfSampler(7, exponent=1.0)
+        probs = list(z.probabilities())
+        assert probs == sorted(probs, reverse=True)
+
+    def test_zipf_ratio(self):
+        # P(rank 0) / P(rank 1) = 2^s for exponent s=1
+        z = ZipfSampler(5, exponent=1.0)
+        probs = list(z.probabilities())
+        assert probs[0] / probs[1] == pytest.approx(2.0)
+
+    def test_samples_within_support(self):
+        z = ZipfSampler(7, rng=make_rng(0))
+        assert all(0 <= r < 7 for r in z.sample_many(500))
+
+    def test_empirical_skew(self):
+        z = ZipfSampler(7, exponent=1.0, rng=make_rng(42))
+        samples = z.sample_many(5000)
+        counts = [samples.count(r) for r in range(7)]
+        assert counts[0] > counts[3] > counts[6]
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(7, rng=make_rng(9)).sample_many(50)
+        b = ZipfSampler(7, rng=make_rng(9)).sample_many(50)
+        assert a == b
+
+    def test_single_rank(self):
+        z = ZipfSampler(1)
+        assert z.sample() == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5, exponent=0)

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_default_topology(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-fat-tree" in out
+        assert "switches:      10" in out
+        assert "hosts:         8" in out
+
+    def test_ring(self, capsys):
+        assert main(["info", "--topology", "ring"]) == 0
+        out = capsys.readouterr().out
+        assert "switches:      20" in out
+
+
+class TestDemo:
+    def test_demo_runs_and_reports(self, capsys):
+        assert main(["demo", "--events", "30", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "events published:   30" in out
+        assert "mean delay" in out
+        assert "flow entries" in out
+
+    def test_demo_deterministic(self, capsys):
+        main(["demo", "--events", "20", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["demo", "--events", "20", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestSoak:
+    def test_soak_passes(self, capsys):
+        assert main(["soak", "--steps", "40", "--seed", "2",
+                     "--topology", "line"]) == 0
+        assert "soak OK" in capsys.readouterr().out
+
+
+class TestRender:
+    def test_render_draws_grid_and_trie(self, capsys):
+        assert main(
+            ["render", "--a", "500", "750", "--width", "16", "--height", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "<root>" in out
+        assert "dz cells" in out
+
+
+class TestFpr:
+    def test_fpr_point(self, capsys):
+        code = main(
+            [
+                "fpr",
+                "--model",
+                "zipfian",
+                "--subscriptions",
+                "50",
+                "--dz-length",
+                "10",
+                "--events",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FPR =" in out
+
+    def test_fpr_improves_with_length(self, capsys):
+        def rate(length):
+            main(
+                [
+                    "fpr",
+                    "--model",
+                    "uniform",
+                    "--subscriptions",
+                    "40",
+                    "--dz-length",
+                    str(length),
+                    "--events",
+                    "300",
+                ]
+            )
+            out = capsys.readouterr().out
+            return float(out.split("FPR = ")[1].split("%")[0])
+
+        assert rate(18) <= rate(4)

@@ -1,0 +1,152 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.core.events import EventSpace
+from repro.exceptions import WorkloadError
+from repro.workloads.generators import UniformWorkload, ZipfianWorkload
+from repro.workloads.scenarios import (
+    paper_space,
+    paper_uniform,
+    paper_zipfian,
+    zipfian_type,
+)
+
+
+class TestUniform:
+    def test_events_within_domain(self):
+        wl = paper_uniform(dimensions=3, seed=1)
+        for event in wl.events(100):
+            for attr in wl.space.attributes:
+                assert attr.low <= event.value(attr.name) < attr.high
+
+    def test_subscriptions_valid_and_constrained(self):
+        wl = paper_uniform(dimensions=3, seed=1)
+        for sub in wl.subscriptions(50):
+            assert set(sub.filter.predicates) == set(wl.space.names)
+            for pred in sub.filter.predicates.values():
+                assert pred.low <= pred.high
+
+    def test_width_fraction_respected(self):
+        wl = paper_uniform(dimensions=2, seed=1, width_fraction=0.1)
+        for sub in wl.subscriptions(50):
+            for pred in sub.filter.predicates.values():
+                assert pred.high - pred.low <= 0.1 * 1024 + 1e-6
+
+    def test_deterministic_with_seed(self):
+        a = paper_uniform(seed=7).events(10)
+        b = paper_uniform(seed=7).events(10)
+        assert [e.values for e in a] == [e.values for e in b]
+
+    def test_constrained_subset_of_dimensions(self):
+        space = paper_space(4)
+        wl = UniformWorkload(space, constrained_dimensions=["attr1", "attr3"])
+        sub = wl.subscription()
+        assert set(sub.filter.predicates) == {"attr1", "attr3"}
+
+    def test_unknown_constrained_dimension(self):
+        with pytest.raises(WorkloadError):
+            UniformWorkload(paper_space(2), constrained_dimensions=["zzz"])
+
+    def test_invalid_width(self):
+        with pytest.raises(WorkloadError):
+            UniformWorkload(paper_space(2), width_fraction=0.0)
+
+    def test_event_ids_unique(self):
+        wl = paper_uniform(seed=1)
+        ids = [e.event_id for e in wl.events(20)]
+        assert len(set(ids)) == 20
+
+    def test_advertisement_covering_all(self):
+        adv = paper_uniform().advertisement_covering_all()
+        assert list(adv.filter.constrained_names()) == []
+
+
+class TestZipfian:
+    def test_seven_hotspots_by_default(self):
+        assert len(paper_zipfian().hotspots) == 7
+
+    def test_events_cluster_around_hotspots(self):
+        wl = paper_zipfian(dimensions=2, seed=3)
+        centers = [h.center for h in wl.hotspots]
+        for event in wl.events(100):
+            distances = [
+                max(
+                    abs(event.value(a.name) - c[i])
+                    for i, a in enumerate(wl.space.attributes)
+                )
+                for c in centers
+            ]
+            # each event lies close to at least one hotspot centre
+            assert min(distances) < 0.3 * 1024
+
+    def test_popular_hotspot_dominates(self):
+        wl = paper_zipfian(dimensions=1, seed=5)
+        counts = [0] * len(wl.hotspots)
+        for _ in range(2000):
+            counts[wl.hotspots.index(wl.pick_hotspot())] += 1
+        assert counts[0] == max(counts)
+
+    def test_events_within_domain(self):
+        wl = paper_zipfian(dimensions=3, seed=1)
+        for event in wl.events(200):
+            for attr in wl.space.attributes:
+                assert attr.low <= event.value(attr.name) < attr.high
+
+    def test_variance_restriction_narrows_dimension(self):
+        import statistics
+
+        space = paper_space(2)
+        restricted = ZipfianWorkload(
+            space, seed=2, variance_scale={"attr1": 0.02}
+        )
+        values0 = [e.value("attr0") for e in restricted.events(300)]
+        values1 = [e.value("attr1") for e in restricted.events(300)]
+        assert statistics.pstdev(values1) < statistics.pstdev(values0) / 3
+
+    def test_invalid_variance_scale(self):
+        with pytest.raises(WorkloadError):
+            ZipfianWorkload(paper_space(2), variance_scale={"attr0": 0.0})
+        with pytest.raises(WorkloadError):
+            ZipfianWorkload(paper_space(2), variance_scale={"zzz": 0.5})
+
+    def test_invalid_hotspots(self):
+        with pytest.raises(WorkloadError):
+            ZipfianWorkload(paper_space(2), hotspots=0)
+
+    def test_subscription_around_hotspot(self):
+        wl = paper_zipfian(dimensions=2, seed=9)
+        hotspot = wl.hotspots[0]
+        sub = wl.subscription(hotspot)
+        for i, attr in enumerate(wl.space.attributes):
+            pred = sub.filter.predicate_for(attr.name)
+            assert pred.low - 1e6 <= hotspot.center[i] <= pred.high + 1e6
+
+
+class TestScenarioPresets:
+    def test_zipfian_types(self):
+        for type_id in (1, 2, 3):
+            wl = zipfian_type(type_id, seed=0)
+            assert wl.space.dimensions == 7
+
+    def test_type1_more_restricted_than_type3(self):
+        import statistics
+
+        type1 = zipfian_type(1, seed=4)
+        type3 = zipfian_type(3, seed=4)
+        spread1 = statistics.pstdev(
+            e.value("attr5") for e in type1.events(300)
+        )
+        spread3 = statistics.pstdev(
+            e.value("attr5") for e in type3.events(300)
+        )
+        assert spread1 < spread3
+
+    def test_unknown_type(self):
+        with pytest.raises(WorkloadError):
+            zipfian_type(4)
+
+    def test_paper_space_defaults(self):
+        space = paper_space()
+        assert space.dimensions == 10
+        assert space.attributes[0].high == 1024.0
