@@ -8,11 +8,19 @@ Scale is controlled by ``REPRO_BENCH_SCALE``:
 
 * ``quick`` (default) — laptop-friendly parameter grids, minutes total;
 * ``full``  — the paper's full grids (e.g. 16k subscriptions, 80k flows).
+
+At session end the harness merges the metrics registries of every
+deployment the benchmarks created (tracked weakly by ``repro.obs``) and
+writes the aggregate snapshot to
+``benchmarks/_snapshots/registry_snapshot.json`` (directory overridable
+via ``REPRO_BENCH_SNAPSHOT_DIR``) — renderable with
+``python -m repro report``.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Sequence
 
 import pytest
@@ -50,3 +58,26 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Export the merged metrics of every deployment this session built."""
+    from repro.obs.context import live_observabilities
+    from repro.obs.export import merge_metrics, write_json
+
+    snapshots = [
+        obs.registry.snapshot() for obs in live_observabilities()
+    ]
+    if not snapshots:
+        return
+    out_dir = Path(
+        os.environ.get(
+            "REPRO_BENCH_SNAPSHOT_DIR",
+            Path(__file__).parent / "_snapshots",
+        )
+    )
+    path = write_json(
+        {"deployments": len(snapshots), "metrics": merge_metrics(snapshots)},
+        out_dir / "registry_snapshot.json",
+    )
+    print(f"\nregistry snapshot: {path} ({len(snapshots)} deployment(s))")

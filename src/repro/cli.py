@@ -14,6 +14,10 @@ Commands
 ``fpr``
     Evaluate one false-positive-rate data point (the Fig. 7d measurement)
     for a chosen model, subscription count and dz length.
+``report``
+    Render an exported observability snapshot (``demo --snapshot-out``,
+    :meth:`Pleroma.export_obs` or the benchmark harness) as a terminal
+    run summary; ``--csv`` re-exports the metrics as CSV instead.
 """
 
 from __future__ import annotations
@@ -67,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run a small pub/sub demonstration")
     demo.add_argument("--events", type=int, default=50)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--snapshot-out",
+        metavar="PATH",
+        default=None,
+        help="export the observability snapshot as JSON to PATH",
+    )
 
     soak = sub.add_parser("soak", help="randomised churn self-test")
     soak.add_argument("--steps", type=int, default=100)
@@ -98,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
     fpr.add_argument("--dimensions", type=int, default=3)
     fpr.add_argument("--events", type=int, default=1000)
     fpr.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="render an exported observability snapshot"
+    )
+    report.add_argument("snapshot", help="path to a snapshot JSON file")
+    report.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the metrics as CSV instead of the run summary",
+    )
     return parser
 
 
@@ -147,6 +167,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"{middleware.metrics.false_positive_rate():.1f} %"
     )
     print(f"flow entries:       {middleware.total_flows_installed()}")
+    if args.snapshot_out is not None:
+        middleware.export_obs(args.snapshot_out)
+        print(f"snapshot written:   {args.snapshot_out}")
     return 0
 
 
@@ -240,12 +263,43 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import load_json, metrics_csv, render_report
+
+    try:
+        document = load_json(args.snapshot)
+    except FileNotFoundError:
+        print(f"error: no such snapshot: {args.snapshot}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.snapshot} is not valid JSON: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not isinstance(document, dict):
+        print(
+            f"error: {args.snapshot} is not a snapshot document",
+            file=sys.stderr,
+        )
+        return 2
+    if args.csv:
+        metrics = document.get("metrics", document)
+        print(metrics_csv(metrics), end="")
+    else:
+        print(render_report(document), end="")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "demo": _cmd_demo,
     "soak": _cmd_soak,
     "fpr": _cmd_fpr,
     "render": _cmd_render,
+    "report": _cmd_report,
 }
 
 

@@ -34,8 +34,9 @@ minimal, which is what the cases aim at.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Literal, Optional
+from typing import Callable, Iterable, Iterator, Literal, Optional
 
 from repro.controller.applier import ChannelApplier, DirectApplier
 from repro.controller.flow_installer import flow_addition
@@ -52,6 +53,7 @@ from repro.network.fabric import Network
 from repro.network.flow import Action, FlowEntry
 from repro.network.packet import Packet
 from repro.network.switch import Switch
+from repro.obs.context import Observability
 
 __all__ = [
     "PleromaController",
@@ -142,6 +144,7 @@ class PleromaController:
         auto_coarsen: bool = False,
         occupancy_threshold: float = 0.9,
         min_dz_length: int = 4,
+        obs: Observability | None = None,
     ) -> None:
         if install_mode not in ("reconcile", "incremental"):
             raise ControllerError(f"unknown install mode {install_mode!r}")
@@ -199,10 +202,21 @@ class PleromaController:
         # hooks used by the federation layer (Sec. 4)
         self.adv_listeners: list[Callable[[AdvertisementState], None]] = []
         self.sub_listeners: list[Callable[[SubscriptionState], None]] = []
+        # observability: deployments share one bundle; a standalone
+        # controller reports into the fabric's registry so its counters
+        # land in the same snapshot as the device counters.
+        self.obs = (
+            obs if obs is not None
+            else Observability(network.sim, registry=network.registry)
+        )
         # statistics
         self.total_flow_mods = 0
+        self.flow_mods_by_switch: dict[str, int] = {}
         self.requests_processed = 0
         self.request_log: list[RequestStats] = []
+        self._c_flow_mods = self.obs.registry.counter(
+            "controller.flow_mods", controller=name
+        )
         self._attach_to_switches()
 
     # ------------------------------------------------------------------
@@ -304,47 +318,40 @@ class PleromaController:
         indexer) or an explicit ``dz_set`` (used for external requests
         arriving from neighbouring partitions) must be given.
         """
-        started = time.perf_counter()
-        mods_before = self.total_flow_mods
-        created_before = self.trees.trees_created
-        merged_before = self.trees.trees_merged
+        with self._request("advertise"):
+            if dz_set is None:
+                if advertisement is None:
+                    raise ControllerError(
+                        "advertise needs a filter or a DZ set"
+                    )
+                dz_set = self.indexer.filter_to_dzset(advertisement.filter)
+            if adv_id is None:
+                adv_id = (
+                    advertisement.adv_id
+                    if advertisement is not None
+                    else _fresh_id()
+                )
+            if adv_id in self.advertisements:
+                raise ControllerError(f"advertisement {adv_id} already active")
+            endpoint = self.endpoint_for_host(host)
+            state = AdvertisementState(adv_id, advertisement, endpoint, dz_set)
+            self.advertisements[adv_id] = state
 
-        if dz_set is None:
-            if advertisement is None:
-                raise ControllerError("advertise needs a filter or a DZ set")
-            dz_set = self.indexer.filter_to_dzset(advertisement.filter)
-        if adv_id is None:
-            adv_id = (
-                advertisement.adv_id if advertisement is not None else _fresh_id()
-            )
-        if adv_id in self.advertisements:
-            raise ControllerError(f"advertisement {adv_id} already active")
-        endpoint = self.endpoint_for_host(host)
-        state = AdvertisementState(adv_id, advertisement, endpoint, dz_set)
-        self.advertisements[adv_id] = state
+            for dz_i in dz_set:
+                covered = EMPTY
+                for tree in self.trees.overlapping(dz_i):
+                    overlap = tree.dz_set.intersect_dz(dz_i)
+                    tree.join_publisher(adv_id, endpoint, overlap)
+                    self._add_flow_mult_sub(tree, state, overlap)
+                    covered = covered.union(overlap)
+                uncovered = DzSet.of(dz_i).subtract(covered)
+                if not uncovered.is_empty:
+                    tree = self.trees.create_tree(endpoint.switch, uncovered)
+                    tree.join_publisher(adv_id, endpoint, uncovered)
+                    self._add_flow_mult_sub(tree, state, uncovered)
+            while self.trees.merges_needed():
+                self._merge_once()
 
-        for dz_i in dz_set:
-            covered = EMPTY
-            for tree in self.trees.overlapping(dz_i):
-                overlap = tree.dz_set.intersect_dz(dz_i)
-                tree.join_publisher(adv_id, endpoint, overlap)
-                self._add_flow_mult_sub(tree, state, overlap)
-                covered = covered.union(overlap)
-            uncovered = DzSet.of(dz_i).subtract(covered)
-            if not uncovered.is_empty:
-                tree = self.trees.create_tree(endpoint.switch, uncovered)
-                tree.join_publisher(adv_id, endpoint, uncovered)
-                self._add_flow_mult_sub(tree, state, uncovered)
-        while self.trees.merges_needed():
-            self._merge_once()
-
-        self._record(
-            "advertise",
-            started,
-            mods_before,
-            created_before,
-            merged_before,
-        )
         self._check_occupancy()
         if _notify:
             for listener in self.adv_listeners:
@@ -360,42 +367,43 @@ class PleromaController:
         _notify: bool = True,
     ) -> SubscriptionState:
         """Process a subscription (Algorithm 1, Receive(SUB))."""
-        started = time.perf_counter()
-        mods_before = self.total_flow_mods
-
-        if dz_set is None:
-            if subscription is None:
-                raise ControllerError("subscribe needs a filter or a DZ set")
-            dz_set = self.indexer.filter_to_dzset(subscription.filter)
-        if sub_id is None:
-            sub_id = (
-                subscription.sub_id if subscription is not None else _fresh_id()
-            )
-        if sub_id in self.subscriptions:
-            raise ControllerError(f"subscription {sub_id} already active")
-        endpoint = self.endpoint_for_host(host)
-        state = SubscriptionState(sub_id, subscription, endpoint, dz_set)
-        self.subscriptions[sub_id] = state
-
-        for dz_i in dz_set:
-            for tree in self.trees.overlapping(dz_i):
-                overlap = tree.dz_set.intersect_dz(dz_i)
-                tree.join_subscriber(sub_id, endpoint, overlap)
-                for adv_id, member in tree.publishers.items():
-                    pub_overlap = member.overlap.intersect_dz(dz_i)
-                    if pub_overlap.is_empty:
-                        continue
-                    self._install_path(
-                        tree,
-                        self.advertisements[adv_id],
-                        state,
-                        pub_overlap.intersect(overlap),
+        with self._request("subscribe"):
+            if dz_set is None:
+                if subscription is None:
+                    raise ControllerError(
+                        "subscribe needs a filter or a DZ set"
                     )
-        # With no overlapping tree the subscription is "simply stored";
-        # it stays in self.subscriptions and is re-checked via
-        # _add_flow_mult_sub whenever trees change.
+                dz_set = self.indexer.filter_to_dzset(subscription.filter)
+            if sub_id is None:
+                sub_id = (
+                    subscription.sub_id
+                    if subscription is not None
+                    else _fresh_id()
+                )
+            if sub_id in self.subscriptions:
+                raise ControllerError(f"subscription {sub_id} already active")
+            endpoint = self.endpoint_for_host(host)
+            state = SubscriptionState(sub_id, subscription, endpoint, dz_set)
+            self.subscriptions[sub_id] = state
 
-        self._record("subscribe", started, mods_before)
+            for dz_i in dz_set:
+                for tree in self.trees.overlapping(dz_i):
+                    overlap = tree.dz_set.intersect_dz(dz_i)
+                    tree.join_subscriber(sub_id, endpoint, overlap)
+                    for adv_id, member in tree.publishers.items():
+                        pub_overlap = member.overlap.intersect_dz(dz_i)
+                        if pub_overlap.is_empty:
+                            continue
+                        self._install_path(
+                            tree,
+                            self.advertisements[adv_id],
+                            state,
+                            pub_overlap.intersect(overlap),
+                        )
+            # With no overlapping tree the subscription is "simply stored";
+            # it stays in self.subscriptions and is re-checked via
+            # _add_flow_mult_sub whenever trees change.
+
         self._check_occupancy()
         if _notify:
             for listener in self.sub_listeners:
@@ -404,31 +412,27 @@ class PleromaController:
 
     def unsubscribe(self, sub_id: int) -> None:
         """Remove a subscription; delete or downgrade its flows (Sec. 3.3.3)."""
-        started = time.perf_counter()
-        mods_before = self.total_flow_mods
-        if sub_id not in self.subscriptions:
-            raise ControllerError(f"unknown subscription {sub_id}")
-        del self.subscriptions[sub_id]
-        changed = self.ledger.remove_keys_where(sub_id=sub_id)
-        for tree in self.trees:
-            tree.leave_subscriber(sub_id)
-        self._withdraw(changed)
-        self._record("unsubscribe", started, mods_before)
+        with self._request("unsubscribe"):
+            if sub_id not in self.subscriptions:
+                raise ControllerError(f"unknown subscription {sub_id}")
+            del self.subscriptions[sub_id]
+            changed = self.ledger.remove_keys_where(sub_id=sub_id)
+            for tree in self.trees:
+                tree.leave_subscriber(sub_id)
+            self._withdraw(changed)
 
     def unadvertise(self, adv_id: int) -> None:
         """Remove an advertisement and retire trees left publisher-less."""
-        started = time.perf_counter()
-        mods_before = self.total_flow_mods
-        if adv_id not in self.advertisements:
-            raise ControllerError(f"unknown advertisement {adv_id}")
-        del self.advertisements[adv_id]
-        changed = self.ledger.remove_keys_where(adv_id=adv_id)
-        for tree in list(self.trees):
-            tree.leave_publisher(adv_id)
-            if not tree.publishers:
-                self.trees.retire_tree(tree.tree_id)
-        self._withdraw(changed)
-        self._record("unadvertise", started, mods_before)
+        with self._request("unadvertise"):
+            if adv_id not in self.advertisements:
+                raise ControllerError(f"unknown advertisement {adv_id}")
+            del self.advertisements[adv_id]
+            changed = self.ledger.remove_keys_where(adv_id=adv_id)
+            for tree in list(self.trees):
+                tree.leave_publisher(adv_id)
+                if not tree.publishers:
+                    self.trees.retire_tree(tree.tree_id)
+            self._withdraw(changed)
 
     # ------------------------------------------------------------------
     # failure handling (beyond the paper: its future work asks for
@@ -443,21 +447,19 @@ class PleromaController:
         if the partition is disconnected — there is then no spanning tree
         to repair to.
         """
-        started = time.perf_counter()
-        mods_before = self.total_flow_mods
-        if a not in self.partition or b not in self.partition:
-            raise ControllerError(
-                f"link {a!r}<->{b!r} is not internal to partition "
-                f"{self.name!r}"
+        with self._request("link_failure"):
+            if a not in self.partition or b not in self.partition:
+                raise ControllerError(
+                    f"link {a!r}<->{b!r} is not internal to partition "
+                    f"{self.name!r}"
+                )
+            if frozenset((a, b)) in {
+                frozenset((s.a, s.b)) for s in self.topology.links()
+            }:
+                self.topology.remove_link(a, b)
+            self._rebuild_trees(
+                [t for t in self.trees if t.uses_edge(a, b)]
             )
-        if frozenset((a, b)) in {
-            frozenset((s.a, s.b)) for s in self.topology.links()
-        }:
-            self.topology.remove_link(a, b)
-        self._rebuild_trees(
-            [t for t in self.trees if t.uses_edge(a, b)]
-        )
-        self._record("link_failure", started, mods_before)
 
     def handle_switch_failure(self, name: str) -> None:
         """Repair after a whole switch inside the partition dies.
@@ -465,29 +467,27 @@ class PleromaController:
         Clients attached to the dead switch are withdrawn (their hosts are
         unreachable); every tree is rebuilt over the surviving switches.
         """
-        started = time.perf_counter()
-        mods_before = self.total_flow_mods
-        if name not in self.partition:
-            raise ControllerError(
-                f"switch {name!r} is not in partition {self.name!r}"
-            )
-        for sub in [
-            s for s in self.subscriptions.values()
-            if s.endpoint.switch == name
-        ]:
-            self.unsubscribe(sub.sub_id)
-        for adv in [
-            a_ for a_ in self.advertisements.values()
-            if a_.endpoint.switch == name
-        ]:
-            self.unadvertise(adv.adv_id)
-        for neighbor in list(self.topology.neighbors(name)):
-            if self.topology.is_switch(neighbor):
-                self.topology.remove_link(name, neighbor)
-        self.partition.discard(name)
-        self.trees.partition.discard(name)
-        self._rebuild_trees(list(self.trees))
-        self._record("switch_failure", started, mods_before)
+        with self._request("switch_failure"):
+            if name not in self.partition:
+                raise ControllerError(
+                    f"switch {name!r} is not in partition {self.name!r}"
+                )
+            for sub in [
+                s for s in self.subscriptions.values()
+                if s.endpoint.switch == name
+            ]:
+                self.unsubscribe(sub.sub_id)
+            for adv in [
+                a_ for a_ in self.advertisements.values()
+                if a_.endpoint.switch == name
+            ]:
+                self.unadvertise(adv.adv_id)
+            for neighbor in list(self.topology.neighbors(name)):
+                if self.topology.is_switch(neighbor):
+                    self.topology.remove_link(name, neighbor)
+            self.partition.discard(name)
+            self.trees.partition.discard(name)
+            self._rebuild_trees(list(self.trees))
 
     def reroute_tree_around_edge(self, tree_id: int, a: str, b: str) -> bool:
         """Move one tree off a (hot) edge, if an alternative exists.
@@ -502,8 +502,6 @@ class PleromaController:
 
         from repro.network.topology import _spt_tie_break
 
-        started = time.perf_counter()
-        mods_before = self.total_flow_mods
         tree = self.trees.get(tree_id)
         if not tree.uses_edge(a, b):
             return False
@@ -524,14 +522,14 @@ class PleromaController:
                 candidates,
                 key=lambda nb: _spt_tie_break(tree.root, node, nb),
             )
-        changed = self.ledger.remove_keys_where(tree_id=tree.tree_id)
-        tree.replace_structure(parents)
-        self._withdraw(changed)
-        for adv_id, member in list(tree.publishers.items()):
-            adv = self.advertisements.get(adv_id)
-            if adv is not None:
-                self._add_flow_mult_sub(tree, adv, member.overlap)
-        self._record("reroute", started, mods_before)
+        with self._request("reroute"):
+            changed = self.ledger.remove_keys_where(tree_id=tree.tree_id)
+            tree.replace_structure(parents)
+            self._withdraw(changed)
+            for adv_id, member in list(tree.publishers.items()):
+                adv = self.advertisements.get(adv_id)
+                if adv is not None:
+                    self._add_flow_mult_sub(tree, adv, member.overlap)
         return True
 
     def _rebuild_trees(self, trees: list[SpanningTree]) -> None:
@@ -692,8 +690,14 @@ class PleromaController:
                     action = sub_ep.terminal_action()
                 pair_is_new = self.ledger.add(switch, dz, action, key)
                 if self.install_mode == "incremental":
-                    self.total_flow_mods += flow_addition(
-                        self._applier.table(switch), dz, {action}
+                    self._count_mods(
+                        switch,
+                        flow_addition(
+                            self._applier.table(switch),
+                            dz,
+                            {action},
+                            registry=self.obs.registry,
+                        ),
                     )
                 elif pair_is_new:
                     changed.setdefault(switch, set()).add(dz)
@@ -708,6 +712,7 @@ class PleromaController:
         contributions), so only that closure is re-evaluated — this is what
         keeps per-request cost output-sensitive at paper scale.
         """
+        batch: dict[str, int] = {}
         for name, dzs in changed.items():
             table = self._applier.table(name)
             trie = self.ledger.trie(name)
@@ -721,14 +726,15 @@ class PleromaController:
                 if desired is None:
                     if current is not None:
                         self._applier.remove(name, current.match)
-                        self.total_flow_mods += 1
+                        batch[name] = batch.get(name, 0) + 1
                 elif (
                     current is None
                     or current.actions != desired
                     or current.priority != len(dz)
                 ):
                     self._applier.install(name, FlowEntry.for_dz(dz, desired))
-                    self.total_flow_mods += 1
+                    batch[name] = batch.get(name, 0) + 1
+        self._record_batch("patch", batch)
 
     def _withdraw(self, changed: dict[str, set[Dz]]) -> None:
         """Repair tables after contribution removals.
@@ -745,6 +751,7 @@ class PleromaController:
     def _reconcile(self, switches: Iterable[str]) -> None:
         """Bring whole switch tables to their desired state (slow path:
         used for incremental-mode withdrawals and full re-indexing)."""
+        batch: dict[str, int] = {}
         for name in sorted(set(switches)):
             desired = desired_flows(self.ledger.contributions(name))
             diff = diff_table(self._applier.table(name), desired)
@@ -756,59 +763,109 @@ class PleromaController:
                 self._applier.install(name, entry)
             for entry in diff.additions:
                 self._applier.install(name, entry)
-            self.total_flow_mods += diff.total_mods
+            batch[name] = diff.total_mods
+        self._record_batch("reconcile", batch)
 
     def _merge_once(self) -> None:
         """Merge the cheapest tree pair and re-deploy its paths."""
         t1, t2 = self.trees.pick_merge_pair()
-        changed = self.ledger.remove_keys_where(tree_id=t1.tree_id)
-        for switch, dzs in self.ledger.remove_keys_where(
-            tree_id=t2.tree_id
-        ).items():
-            changed.setdefault(switch, set()).update(dzs)
-        merged = self.trees.merge(t1, t2)
-        # Recompute membership against the (possibly coarsened) DZ: stored
-        # subscriptions and advertisements may overlap the wider region.
-        merged.publishers.clear()
-        merged.subscribers.clear()
-        for adv in self.advertisements.values():
-            overlap = adv.dz_set.intersect(merged.dz_set)
-            if not overlap.is_empty:
-                merged.join_publisher(adv.adv_id, adv.endpoint, overlap)
-        # Withdrawals always go through the ledger-derived desired state:
-        # the incremental cases only describe additions.
-        self._withdraw(changed)
-        for adv_id, member in merged.publishers.items():
-            self._add_flow_mult_sub(
-                merged, self.advertisements[adv_id], member.overlap
-            )
+        with self.obs.tracer.span(
+            "tree_merge",
+            "merge",
+            controller=self.name,
+            merged_tree_ids=[t1.tree_id, t2.tree_id],
+        ) as span:
+            changed = self.ledger.remove_keys_where(tree_id=t1.tree_id)
+            for switch, dzs in self.ledger.remove_keys_where(
+                tree_id=t2.tree_id
+            ).items():
+                changed.setdefault(switch, set()).update(dzs)
+            merged = self.trees.merge(t1, t2)
+            span.attributes["result_tree_id"] = merged.tree_id
+            # Recompute membership against the (possibly coarsened) DZ:
+            # stored subscriptions and advertisements may overlap the wider
+            # region.
+            merged.publishers.clear()
+            merged.subscribers.clear()
+            for adv in self.advertisements.values():
+                overlap = adv.dz_set.intersect(merged.dz_set)
+                if not overlap.is_empty:
+                    merged.join_publisher(adv.adv_id, adv.endpoint, overlap)
+            # Withdrawals always go through the ledger-derived desired
+            # state: the incremental cases only describe additions.
+            self._withdraw(changed)
+            for adv_id, member in merged.publishers.items():
+                self._add_flow_mult_sub(
+                    merged, self.advertisements[adv_id], member.overlap
+                )
 
-    def _record(
-        self,
-        kind: str,
-        started: float,
-        mods_before: int,
-        created_before: int | None = None,
-        merged_before: int | None = None,
-    ) -> None:
+    def _record_batch(self, name: str, batch: dict[str, int]) -> None:
+        """Count one flow-mod batch and trace its per-switch breakdown."""
+        if not batch:
+            return
+        for switch in sorted(batch):
+            self._count_mods(switch, batch[switch])
+        self.obs.tracer.event(
+            "flow_mod_batch",
+            name,
+            controller=self.name,
+            mods={switch: batch[switch] for switch in sorted(batch)},
+        )
+
+    def _count_mods(self, switch: str, n: int = 1) -> None:
+        """Account flow-mod messages: total, per switch, and registry."""
+        if n <= 0:
+            return
+        self.total_flow_mods += n
+        self.flow_mods_by_switch[switch] = (
+            self.flow_mods_by_switch.get(switch, 0) + n
+        )
+        self._c_flow_mods.inc(n)
+
+    @contextmanager
+    def _request(self, kind: str) -> Iterator[None]:
+        """Scope of one control request: opens a trace span, and on success
+        appends the :class:`RequestStats` entry (flow mods, tree churn,
+        measured compute time).  A failing request leaves no stats — as
+        before — but its span survives with ``outcome="error"``.
+        """
+        span = self.obs.tracer.begin("request", kind, controller=self.name)
+        started = time.perf_counter()
+        mods_before = self.total_flow_mods
+        per_switch_before = dict(self.flow_mods_by_switch)
+        created_before = self.trees.trees_created
+        merged_before = self.trees.trees_merged
+        try:
+            yield
+        except BaseException:
+            self.obs.tracer.finish(span, outcome="error")
+            raise
+        flow_mods = self.total_flow_mods - mods_before
+        per_switch = {
+            name: count - per_switch_before.get(name, 0)
+            for name, count in sorted(self.flow_mods_by_switch.items())
+            if count - per_switch_before.get(name, 0)
+        }
         stats = RequestStats(
             kind=kind,
-            flow_mods=self.total_flow_mods - mods_before,
+            flow_mods=flow_mods,
             compute_seconds=time.perf_counter() - started,
             flow_mod_latency_s=self.flow_mod_latency_s,
-            trees_created=(
-                self.trees.trees_created - created_before
-                if created_before is not None
-                else 0
-            ),
-            trees_merged=(
-                self.trees.trees_merged - merged_before
-                if merged_before is not None
-                else 0
-            ),
+            trees_created=self.trees.trees_created - created_before,
+            trees_merged=self.trees.trees_merged - merged_before,
         )
         self.requests_processed += 1
         self.request_log.append(stats)
+        self.obs.registry.counter(
+            "controller.requests", controller=self.name, kind=kind
+        ).inc()
+        self.obs.tracer.finish(
+            span,
+            flow_mods=flow_mods,
+            flow_mods_by_switch=per_switch,
+            trees_created=stats.trees_created,
+            trees_merged=stats.trees_merged,
+        )
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -843,6 +900,10 @@ class PleromaController:
                 for name in sorted(self.partition)
             },
             "total_flow_mods": self.total_flow_mods,
+            "flow_mods_by_switch": {
+                name: self.flow_mods_by_switch[name]
+                for name in sorted(self.flow_mods_by_switch)
+            },
             "requests_processed": self.requests_processed,
         }
 

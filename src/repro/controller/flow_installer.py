@@ -29,23 +29,35 @@ from __future__ import annotations
 
 from repro.core.dz import Dz
 from repro.network.flow import Action, FlowEntry, FlowTable
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["flow_addition"]
 
 
+def _count_case(registry: MetricsRegistry | None, case: str) -> None:
+    if registry is not None:
+        registry.counter("flow_installer.case_hits", case=case).inc()
+
+
 def flow_addition(
-    table: FlowTable, dz: Dz, actions: frozenset[Action] | set[Action]
+    table: FlowTable,
+    dz: Dz,
+    actions: frozenset[Action] | set[Action],
+    registry: MetricsRegistry | None = None,
 ) -> int:
     """Install a flow for ``dz``/``actions`` into ``table``.
 
     Returns the number of flow-mod messages (adds + modifies + deletes)
-    the operation cost.
+    the operation cost.  When a ``registry`` is given, per-case hit
+    counters (``flow_installer.case_hits{case=1..5}``) record which of the
+    paper's five situations the workload actually exercises.
     """
     fl_new = FlowEntry.for_dz(dz, frozenset(actions))
     current = table.entries()
 
     # Case 2: an existing flow fully covers the new one — no action needed.
     if any(fl_ex.covers(fl_new) for fl_ex in current):
+        _count_case(registry, "2")
         return 0
 
     mods = 0
@@ -56,6 +68,7 @@ def flow_addition(
     for fl_ex in current:
         if fl_ex.partially_covers(fl_new):
             merged_actions |= fl_ex.actions
+            _count_case(registry, "4")
     fl_new = fl_new.with_actions(frozenset(merged_actions))
 
     # Case 3: delete existing flows the (possibly enlarged) new flow covers.
@@ -63,6 +76,7 @@ def flow_addition(
         if fl_new.covers(fl_ex) and fl_ex.match != fl_new.match:
             table.remove(fl_ex.match)
             mods += 1
+            _count_case(registry, "3")
 
     # Case 5: existing finer flows partially covered by fl_new must absorb
     # the new actions so their higher-priority match keeps subsuming it.
@@ -70,6 +84,7 @@ def flow_addition(
         if fl_new.partially_covers(fl_ex) and fl_ex.match != fl_new.match:
             table.install(fl_ex.with_actions(fl_ex.actions | fl_new.actions))
             mods += 1
+            _count_case(registry, "5")
 
     # Case 1 (and the add of cases 3-5): install the new flow.  If an entry
     # with the same match exists, merge actions instead of shadowing it.
@@ -77,4 +92,5 @@ def flow_addition(
     if existing_same is not None:
         fl_new = fl_new.with_actions(fl_new.actions | existing_same.actions)
     table.install(fl_new)
+    _count_case(registry, "1")
     return mods + 1

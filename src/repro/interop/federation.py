@@ -59,6 +59,7 @@ from repro.interop.messages import (
 from repro.network.fabric import Network
 from repro.network.packet import Packet
 from repro.network.switch import Switch
+from repro.obs.context import Observability
 
 __all__ = ["Federation", "FederationStats"]
 
@@ -137,9 +138,16 @@ class Federation:
         network: Network,
         controllers: Iterable[PleromaController],
         covering_enabled: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.network = network
         self.covering_enabled = covering_enabled
+        # Federation counters mirror FederationStats into the registry and
+        # its exchanges into the trace, alongside the device metrics.
+        self.obs = (
+            obs if obs is not None
+            else Observability(network.sim, registry=network.registry)
+        )
         self.controllers: dict[str, PleromaController] = {}
         owner_of: dict[str, str] = {}
         for controller in controllers:
@@ -245,16 +253,24 @@ class Federation:
         payload = packet.payload
         border = BorderPort(switch.name, in_port)
         if isinstance(payload, ExternalAdvertisement):
-            self._on_external_adv(state, border, payload)
+            name, handler = "external_adv", self._on_external_adv
         elif isinstance(payload, ExternalSubscription):
-            self._on_external_sub(state, border, payload)
+            name, handler = "external_sub", self._on_external_sub
         elif isinstance(payload, ExternalUnsubscription):
-            self._on_external_unsub(state, border, payload)
+            name, handler = "external_unsub", self._on_external_unsub
         elif isinstance(payload, ExternalUnadvertisement):
-            self._on_external_unadv(state, border, payload)
+            name, handler = "external_unadv", self._on_external_unadv
         else:
             # ordinary client request from a host of this partition
             state.controller.handle_control_packet(switch, packet, in_port)
+            return
+        with self.obs.tracer.span(
+            "federation_exchange",
+            name,
+            controller=state.controller.name,
+            border=border.key,
+        ):
+            handler(state, border, payload)
 
     # ------------------------------------------------------------------
     # internal requests: count and forward
@@ -263,7 +279,7 @@ class Federation:
         self, state: _PartitionState, adv: AdvertisementState
     ) -> None:
         name = state.controller.name
-        self.stats.internal_requests[name] += 1
+        self._count_request(name, "internal")
         rid: RequestId = (name, adv.adv_id)
         state.processed.add(rid)
         state.request_of_adv[adv.adv_id] = rid
@@ -275,7 +291,7 @@ class Federation:
         self, state: _PartitionState, sub: SubscriptionState
     ) -> None:
         name = state.controller.name
-        self.stats.internal_requests[name] += 1
+        self._count_request(name, "internal")
         rid: RequestId = (name, sub.sub_id)
         state.processed.add(rid)
         state.request_of_sub[sub.sub_id] = rid
@@ -295,7 +311,7 @@ class Federation:
         msg: ExternalAdvertisement,
     ) -> None:
         controller = state.controller
-        self.stats.external_requests[controller.name] += 1
+        self._count_request(controller.name, "external")
         if msg.request_id in state.processed:
             return
         state.processed.add(msg.request_id)
@@ -331,7 +347,7 @@ class Federation:
         msg: ExternalSubscription,
     ) -> None:
         controller = state.controller
-        self.stats.external_requests[controller.name] += 1
+        self._count_request(controller.name, "external")
         if msg.request_id in state.processed:
             return
         state.processed.add(msg.request_id)
@@ -355,7 +371,7 @@ class Federation:
         msg: ExternalUnsubscription,
     ) -> None:
         controller = state.controller
-        self.stats.external_requests[controller.name] += 1
+        self._count_request(controller.name, "external")
         local_id = state.local_sub_for.pop(msg.request_id, None)
         if local_id is None:
             return
@@ -374,7 +390,7 @@ class Federation:
         msg: ExternalUnadvertisement,
     ) -> None:
         controller = state.controller
-        self.stats.external_requests[controller.name] += 1
+        self._count_request(controller.name, "external")
         local_id = state.local_adv_for.pop(msg.request_id, None)
         if local_id is None:
             return
@@ -501,7 +517,20 @@ class Federation:
 
     def _send(self, state: _PartitionState, border: BorderPort, message) -> None:
         """Ship a control message through a border switch port."""
-        self.stats.messages_sent[state.controller.name] += 1
+        name = state.controller.name
+        self.stats.messages_sent[name] += 1
+        self.obs.registry.counter(
+            "federation.messages_sent", controller=name
+        ).inc()
+        self.obs.registry.counter(
+            "federation.bytes_sent", controller=name
+        ).inc(_CONTROL_MESSAGE_BYTES)
+        self.obs.tracer.event(
+            "federation_send",
+            type(message).__name__,
+            controller=name,
+            border=border.key,
+        )
         switch = self.network.switches[border.switch]
         switch.send_via_port(
             border.port,
@@ -511,6 +540,16 @@ class Federation:
                 size_bytes=_CONTROL_MESSAGE_BYTES,
             ),
         )
+
+    def _count_request(self, controller: str, origin: str) -> None:
+        """Mirror a FederationStats request count into the registry."""
+        if origin == "internal":
+            self.stats.internal_requests[controller] += 1
+        else:
+            self.stats.external_requests[controller] += 1
+        self.obs.registry.counter(
+            "federation.requests", controller=controller, origin=origin
+        ).inc()
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

@@ -15,10 +15,11 @@ metrics of Sec. 6:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.events import Event
+from repro.obs.registry import DELAY_BUCKETS_S, MetricsRegistry
 
 __all__ = ["DeliveryRecord", "MetricsCollector", "summarize"]
 
@@ -38,36 +39,63 @@ class DeliveryRecord:
         return self.deliver_time - self.publish_time
 
 
-@dataclass
 class MetricsCollector:
-    """Accumulates publish/delivery observations."""
+    """Accumulates publish/delivery observations.
 
-    records: list[DeliveryRecord] = field(default_factory=list)
-    published: int = 0
-    first_publish_time: float | None = None
-    last_publish_time: float | None = None
+    Counts delegate to a :class:`~repro.obs.registry.MetricsRegistry`
+    (``events.published``, ``events.delivered``,
+    ``events.false_positives`` and the ``delivery.delay_s`` histogram) so
+    they appear in the deployment's observability snapshot; the
+    per-delivery :class:`DeliveryRecord` list stays here for the derived
+    metrics below.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.records: list[DeliveryRecord] = []
+        self.first_publish_time: float | None = None
+        self.last_publish_time: float | None = None
+        self._c_published = self.registry.counter("events.published")
+        self._c_delivered = self.registry.counter("events.delivered")
+        self._c_false_positives = self.registry.counter(
+            "events.false_positives"
+        )
+        self._h_delay = self.registry.histogram(
+            "delivery.delay_s", DELAY_BUCKETS_S
+        )
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def on_publish(self, now: float) -> None:
-        self.published += 1
+        self._c_published.inc()
         if self.first_publish_time is None:
             self.first_publish_time = now
         self.last_publish_time = now
 
     def on_delivery(self, record: DeliveryRecord) -> None:
         self.records.append(record)
+        self._c_delivered.inc()
+        self._h_delay.observe(record.delay)
+        if not record.matched:
+            self._c_false_positives.inc()
 
     def reset(self) -> None:
         self.records.clear()
-        self.published = 0
         self.first_publish_time = None
         self.last_publish_time = None
+        self._c_published.reset()
+        self._c_delivered.reset()
+        self._c_false_positives.reset()
+        self._h_delay.reset()
 
     # ------------------------------------------------------------------
     # derived metrics
     # ------------------------------------------------------------------
+    @property
+    def published(self) -> int:
+        return self._c_published.value
+
     @property
     def delivered(self) -> int:
         return len(self.records)

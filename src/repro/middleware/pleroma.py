@@ -37,6 +37,7 @@ from repro.middleware.metrics import DeliveryRecord, MetricsCollector
 from repro.network.fabric import Network, NetworkParams
 from repro.network.packet import EventPayload, Packet, event_packet_size
 from repro.network.topology import Topology, partition_switches
+from repro.obs.context import Observability
 from repro.sim.engine import Simulator
 
 __all__ = ["Pleroma"]
@@ -73,7 +74,12 @@ class Pleroma:
     ) -> None:
         self.topology = topology
         self.sim = Simulator()
-        self.network = Network(self.sim, topology, params=params)
+        # one observability bundle per deployment: every device, controller
+        # and the metrics collector report into its registry/tracer
+        self.obs = Observability(self.sim)
+        self.network = Network(
+            self.sim, topology, params=params, registry=self.obs.registry
+        )
         self.space = space if space is not None else EventSpace.paper_schema(dimensions)
         self.indexer = SpatialIndexer(
             self.space, max_dz_length=max_dz_length, max_cells=max_cells
@@ -92,6 +98,7 @@ class Pleroma:
                 self.indexer,
                 partition=chunk,
                 name=f"c{i + 1}",
+                obs=self.obs,
                 **controller_kwargs,
             )
             for i, chunk in enumerate(partition_switches(topology, partitions))
@@ -99,9 +106,12 @@ class Pleroma:
         self.federation: Optional[Federation] = None
         if partitions > 1:
             self.federation = Federation(
-                self.network, self.controllers, covering_enabled=covering_enabled
+                self.network,
+                self.controllers,
+                covering_enabled=covering_enabled,
+                obs=self.obs,
             )
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(registry=self.obs.registry)
         self.monitor: Optional[TrafficMonitor] = None
         self._dimsel_period: Optional[float] = None
         self._dimsel_k: Optional[int] = None
@@ -193,6 +203,7 @@ class Pleroma:
             )
         )
         self.metrics.on_publish(self.sim.now)
+        self.obs.poke_samplers()
         if self.monitor is not None:
             self.monitor.record_event(event)
             self._dimsel_new_events += 1
@@ -384,6 +395,26 @@ class Pleroma:
     def total_flows_installed(self) -> int:
         """Current number of flow entries across all switches."""
         return sum(len(s.table) for s in self.network.switches.values())
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_sampling(self, period_s: float = 0.01):
+        """Sample link utilization and TCAM occupancy every ``period_s``
+        of simulated time (pauses in quiet periods; publishing re-arms)."""
+        return self.obs.start_sampling(self.network, period_s)
+
+    def obs_snapshot(self, include_spans: bool = True) -> dict:
+        """The deployment's full observability state (JSON-compatible)."""
+        return self.obs.snapshot(include_spans=include_spans)
+
+    def export_obs(self, path, include_spans: bool = True) -> dict:
+        """Write the observability snapshot to ``path`` and return it."""
+        from repro.obs.export import write_json
+
+        document = self.obs_snapshot(include_spans=include_spans)
+        write_json(document, path)
+        return document
 
     def check_invariants(self) -> None:
         for controller in self.controllers:

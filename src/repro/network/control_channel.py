@@ -3,17 +3,22 @@
 Each switch has a dedicated control connection ("a dedicated control
 network", Sec. 1).  The channel delivers OpenFlow messages with a
 configurable one-way latency, preserves per-switch FIFO ordering (TCP
-semantics), applies flow-mods to the switch's table on arrival, and
-answers barriers/echoes/features requests.  ``IP_pub/sub`` packets
-diverted by a switch travel the reverse direction as ``PacketIn``.
+semantics) *in both directions* — controller-to-switch and
+switch-to-controller messages each arrive no earlier than their
+predecessors on the same connection — applies flow-mods to the switch's
+table on arrival, and answers barriers/echoes/features requests.
+``IP_pub/sub`` packets diverted by a switch travel the reverse direction
+as ``PacketIn``.
 
-The channel also keeps counters — messages and bytes per direction — that
-back the control-overhead measurements.
+The channel also keeps counters — messages and bytes per direction, sized
+by :func:`~repro.network.openflow.message_size` — that back the
+control-overhead measurements (Fig. 7h); they surface through the shared
+:class:`~repro.obs.registry.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.exceptions import FlowTableError, TopologyError
@@ -30,9 +35,11 @@ from repro.network.openflow import (
     OpenFlowMessage,
     PacketIn,
     PacketOut,
+    message_size,
 )
 from repro.network.packet import Packet
 from repro.network.switch import Switch
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Simulator
 
 __all__ = ["ControlChannel", "DEFAULT_CONTROL_LATENCY_S"]
@@ -48,10 +55,14 @@ ControllerHandler = Callable[[PacketIn], None]
 class _Connection:
     switch: Switch
     handler: Optional[ControllerHandler] = None
-    # FIFO ordering: the next message may not arrive before this time
+    # FIFO ordering, one horizon per direction: the next message in a
+    # direction may not arrive before the previous one did.
     busy_until: float = 0.0
+    ctrl_busy_until: float = 0.0
     to_switch_messages: int = 0
     to_controller_messages: int = 0
+    to_switch_bytes: int = 0
+    to_controller_bytes: int = 0
 
 
 class ControlChannel:
@@ -61,14 +72,28 @@ class ControlChannel:
         self,
         sim: Simulator,
         latency_s: float = DEFAULT_CONTROL_LATENCY_S,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if latency_s < 0:
             raise TopologyError("control latency must be >= 0")
         self.sim = sim
         self.latency_s = latency_s
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._connections: dict[str, _Connection] = {}
         self.replies: list[OpenFlowMessage] = []
         self.errors: list[ErrorMessage] = []
+        self._m_to_switch = self.registry.counter(
+            "control.messages", direction="to_switch"
+        )
+        self._m_to_controller = self.registry.counter(
+            "control.messages", direction="to_controller"
+        )
+        self._b_to_switch = self.registry.counter(
+            "control.bytes", direction="to_switch"
+        )
+        self._b_to_controller = self.registry.counter(
+            "control.bytes", direction="to_controller"
+        )
 
     # ------------------------------------------------------------------
     # wiring
@@ -112,7 +137,11 @@ class ControlChannel:
         """Ship one message to a switch; it is applied after the one-way
         latency, in FIFO order with earlier messages."""
         connection = self._connection(switch_name)
+        size = message_size(message)
         connection.to_switch_messages += 1
+        connection.to_switch_bytes += size
+        self._m_to_switch.inc()
+        self._b_to_switch.inc(size)
         arrival = max(
             self.sim.now + self.latency_s, connection.busy_until
         )
@@ -166,14 +195,30 @@ class ControlChannel:
     # ------------------------------------------------------------------
     # switch -> controller
     # ------------------------------------------------------------------
+    def _controller_bound(self, connection: _Connection, message) -> float:
+        """Account one switch-to-controller message and return its FIFO
+        arrival time (TCP semantics: never before an earlier message)."""
+        size = message_size(message)
+        connection.to_controller_messages += 1
+        connection.to_controller_bytes += size
+        self._m_to_controller.inc()
+        self._b_to_controller.inc(size)
+        arrival = max(
+            self.sim.now + self.latency_s, connection.ctrl_busy_until
+        )
+        connection.ctrl_busy_until = arrival
+        return arrival
+
     def _packet_in(
         self, connection: _Connection, packet: Packet, in_port: int
     ) -> None:
         message = PacketIn(
             switch=connection.switch.name, in_port=in_port, packet=packet
         )
-        connection.to_controller_messages += 1
-        self.sim.schedule(self.latency_s, self._deliver_packet_in, connection, message)
+        arrival = self._controller_bound(connection, message)
+        self.sim.schedule_at(
+            arrival, self._deliver_packet_in, connection, message
+        )
 
     def _deliver_packet_in(
         self, connection: _Connection, message: PacketIn
@@ -182,8 +227,8 @@ class ControlChannel:
             connection.handler(message)
 
     def _reply(self, connection: _Connection, message: OpenFlowMessage) -> None:
-        connection.to_controller_messages += 1
-        self.sim.schedule(self.latency_s, self._record_reply, message)
+        arrival = self._controller_bound(connection, message)
+        self.sim.schedule_at(arrival, self._record_reply, message)
 
     def _record_reply(self, message: OpenFlowMessage) -> None:
         self.replies.append(message)
@@ -200,3 +245,23 @@ class ControlChannel:
         return sum(
             c.to_controller_messages for c in self._connections.values()
         )
+
+    def bytes_to_switches(self) -> int:
+        return sum(c.to_switch_bytes for c in self._connections.values())
+
+    def bytes_to_controller(self) -> int:
+        return sum(
+            c.to_controller_bytes for c in self._connections.values()
+        )
+
+    def per_switch_counters(self) -> dict[str, dict[str, int]]:
+        """Message/byte counts per connection (sorted, JSON-friendly)."""
+        return {
+            name: {
+                "to_switch_messages": c.to_switch_messages,
+                "to_switch_bytes": c.to_switch_bytes,
+                "to_controller_messages": c.to_controller_messages,
+                "to_controller_bytes": c.to_controller_bytes,
+            }
+            for name, c in sorted(self._connections.items())
+        }

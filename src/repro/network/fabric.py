@@ -21,6 +21,7 @@ from repro.network.link import (
 )
 from repro.network.switch import DEFAULT_LOOKUP_DELAY_S, Switch
 from repro.network.topology import Topology
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Simulator
 
 __all__ = ["Network", "NetworkParams"]
@@ -47,10 +48,15 @@ class Network:
         sim: Simulator,
         topology: Topology,
         params: NetworkParams | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.params = params or NetworkParams()
+        # One registry shared by every device of the fabric; deployments
+        # (the Pleroma facade) pass theirs in so the whole system reports
+        # into a single snapshot.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.switches: dict[str, Switch] = {}
         self.hosts: dict[str, Host] = {}
         self.links: dict[frozenset[str], Link] = {}
@@ -67,6 +73,7 @@ class Network:
                 table_capacity=p.switch_table_capacity,
                 lookup_delay_s=p.switch_lookup_delay_s,
                 lookup_jitter_s=p.switch_lookup_jitter_s,
+                registry=self.registry,
             )
         from repro.network.host import HOST_ADDRESS_BASE
 
@@ -77,6 +84,7 @@ class Network:
                 processing_rate_eps=p.host_rate_eps,
                 queue_capacity=p.host_queue_capacity,
                 address=HOST_ADDRESS_BASE + index,
+                registry=self.registry,
             )
         # deterministic port numbering: sorted neighbors, starting at 1
         for node in sorted(self.topology.graph.nodes):
@@ -97,6 +105,7 @@ class Network:
                     if spec.bandwidth_bps is not None
                     else p.bandwidth_bps
                 ),
+                registry=self.registry,
             )
             self.links[frozenset((spec.a, spec.b))] = link
             self._node(spec.a).attach_link(self._ports[(spec.a, spec.b)], link)
@@ -146,10 +155,7 @@ class Network:
         for host in self.hosts.values():
             host.reset_counters()
         for switch in self.switches.values():
-            switch.packets_received = 0
-            switch.packets_forwarded = 0
-            switch.packets_dropped = 0
-            switch.packets_to_controller = 0
+            switch.reset_counters()
 
     def __repr__(self) -> str:
         return (

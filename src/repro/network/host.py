@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.exceptions import TopologyError
 from repro.network.link import Link
 from repro.network.packet import EventPayload, Packet
+from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:
     from repro.sim.engine import Simulator
@@ -44,6 +45,7 @@ class Host:
         processing_rate_eps: float = DEFAULT_HOST_RATE_EPS,
         queue_capacity: int = 1000,
         address: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if processing_rate_eps <= 0:
             raise TopologyError("host processing rate must be positive")
@@ -63,11 +65,37 @@ class Host:
         self._link: Optional[Link] = None
         self._busy_until = 0.0
         self._on_deliver: Optional[DeliveryCallback] = None
-        # statistics
-        self.packets_arrived = 0
-        self.packets_delivered = 0
-        self.packets_dropped = 0
-        self.packets_sent = 0
+        # statistics (registry-backed)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._arrived = self.registry.counter(
+            "host.packets_arrived", host=name
+        )
+        self._delivered = self.registry.counter(
+            "host.packets_delivered", host=name
+        )
+        self._dropped = self.registry.counter(
+            "host.packets_dropped", host=name
+        )
+        self._sent = self.registry.counter("host.packets_sent", host=name)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def packets_arrived(self) -> int:
+        return self._arrived.value
+
+    @property
+    def packets_delivered(self) -> int:
+        return self._delivered.value
+
+    @property
+    def packets_dropped(self) -> int:
+        return self._dropped.value
+
+    @property
+    def packets_sent(self) -> int:
+        return self._sent.value
 
     # ------------------------------------------------------------------
     def attach_link(self, port: int, link: Link) -> None:
@@ -93,7 +121,7 @@ class Host:
     def send(self, packet: Packet) -> None:
         """Transmit a packet into the network."""
         packet.src_address = self.address
-        self.packets_sent += 1
+        self._sent.inc()
         self.link.transmit(self, packet)
 
     # ------------------------------------------------------------------
@@ -101,28 +129,28 @@ class Host:
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_port: int) -> None:
         """NIC arrival: enqueue for application processing or drop."""
-        self.packets_arrived += 1
+        self._arrived.inc()
         service_time = 1.0 / self.processing_rate_eps
         backlog = max(0.0, self._busy_until - self.sim.now)
         if backlog > self.queue_capacity * service_time:
-            self.packets_dropped += 1
+            self._dropped.inc()
             return
         start = max(self.sim.now, self._busy_until)
         self._busy_until = start + service_time
         self.sim.schedule_at(self._busy_until, self._process, packet)
 
     def _process(self, packet: Packet) -> None:
-        self.packets_delivered += 1
+        self._delivered.inc()
         if self._on_deliver is not None and isinstance(
             packet.payload, EventPayload
         ):
             self._on_deliver(packet.payload, packet, self.sim.now)
 
     def reset_counters(self) -> None:
-        self.packets_arrived = 0
-        self.packets_delivered = 0
-        self.packets_dropped = 0
-        self.packets_sent = 0
+        for counter in (
+            self._arrived, self._delivered, self._dropped, self._sent,
+        ):
+            counter.reset()
 
     def __repr__(self) -> str:
         return f"Host({self.name})"

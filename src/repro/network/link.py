@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Protocol
 
 from repro.exceptions import TopologyError
 from repro.network.packet import Packet
+from repro.obs.registry import Counter, MetricsRegistry
 
 if TYPE_CHECKING:
     from repro.sim.engine import Simulator
@@ -39,11 +40,15 @@ class NetworkNode(Protocol):
 
 @dataclass
 class _Direction:
-    """State of one transmit direction of a link."""
+    """State of one transmit direction of a link.
 
+    The packet/byte counts live in registry counters so the observability
+    layer sees them; the busy-until horizon is plain scheduling state.
+    """
+
+    packets: Counter
+    bytes: Counter
     busy_until: float = 0.0
-    packets: int = 0
-    bytes: int = 0
 
 
 class Link:
@@ -58,6 +63,7 @@ class Link:
         b_port: int,
         delay_s: float = DEFAULT_LINK_DELAY_S,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if delay_s < 0 or bandwidth_bps <= 0:
             raise TopologyError("link delay must be >= 0 and bandwidth > 0")
@@ -68,8 +74,24 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.up = True
         self.packets_lost_down = 0
-        self._dir_ab = _Direction()
-        self._dir_ba = _Direction()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        label = f"{a.name}<->{b.name}"
+        self._dir_ab = _Direction(
+            packets=self.registry.counter(
+                "link.packets", link=label, direction=f"{a.name}->{b.name}"
+            ),
+            bytes=self.registry.counter(
+                "link.bytes", link=label, direction=f"{a.name}->{b.name}"
+            ),
+        )
+        self._dir_ba = _Direction(
+            packets=self.registry.counter(
+                "link.packets", link=label, direction=f"{b.name}->{a.name}"
+            ),
+            bytes=self.registry.counter(
+                "link.bytes", link=label, direction=f"{b.name}->{a.name}"
+            ),
+        )
 
     # ------------------------------------------------------------------
     def fail(self) -> None:
@@ -109,23 +131,24 @@ class Link:
         start = max(self.sim.now, direction.busy_until)
         direction.busy_until = start + serialization
         arrival = direction.busy_until + self.delay_s
-        direction.packets += 1
-        direction.bytes += packet.size_bytes
+        direction.packets.inc()
+        direction.bytes.inc(packet.size_bytes)
         packet.hops += 1
         self.sim.schedule_at(arrival, receiver.receive, packet, far_port)
 
     # ------------------------------------------------------------------
     @property
     def total_packets(self) -> int:
-        return self._dir_ab.packets + self._dir_ba.packets
+        return self._dir_ab.packets.value + self._dir_ba.packets.value
 
     @property
     def total_bytes(self) -> int:
-        return self._dir_ab.bytes + self._dir_ba.bytes
+        return self._dir_ab.bytes.value + self._dir_ba.bytes.value
 
     def reset_counters(self) -> None:
-        self._dir_ab = _Direction(busy_until=self._dir_ab.busy_until)
-        self._dir_ba = _Direction(busy_until=self._dir_ba.busy_until)
+        for direction in (self._dir_ab, self._dir_ba):
+            direction.packets.reset()
+            direction.bytes.reset()
 
     def __repr__(self) -> str:
         return (

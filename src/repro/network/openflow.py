@@ -36,6 +36,7 @@ __all__ = [
     "EchoRequest",
     "EchoReply",
     "ErrorMessage",
+    "message_size",
 ]
 
 _xids = itertools.count(1)
@@ -148,3 +149,36 @@ class ErrorMessage(OpenFlowMessage):
 
     failed_xid: int = 0
     reason: str = ""
+
+
+#: OpenFlow 1.3 wire sizes: the common header is 8 bytes; the per-type
+#: body sizes below follow the spec's fixed structs (flow-mod body of
+#: 48 B plus a 24 B IPv6-prefix match TLV, packet-in/out 24/16 B headers
+#: plus the carried frame).
+_OFP_HEADER = 8
+_FLOW_MOD_BODY = 48
+_MATCH_TLV = 24  # OXM IPv6-destination match (prefix + mask)
+_PACKET_IN_BODY = 24
+_PACKET_OUT_BODY = 16
+_FEATURES_REPLY_BODY = 24
+_ERROR_BODY = 12
+
+
+def message_size(message: OpenFlowMessage) -> int:
+    """Wire size in bytes of one control message.
+
+    The control channel uses this for its per-direction byte counters —
+    the quantities behind the Fig. 7h control-traffic measurements.
+    """
+    if isinstance(message, FlowMod):
+        return _OFP_HEADER + _FLOW_MOD_BODY + _MATCH_TLV
+    if isinstance(message, PacketIn):
+        return _OFP_HEADER + _PACKET_IN_BODY + message.packet.size_bytes
+    if isinstance(message, PacketOut):
+        return _OFP_HEADER + _PACKET_OUT_BODY + message.packet.size_bytes
+    if isinstance(message, FeaturesReply):
+        return _OFP_HEADER + _FEATURES_REPLY_BODY + 8 * len(message.ports)
+    if isinstance(message, ErrorMessage):
+        return _OFP_HEADER + _ERROR_BODY + len(message.reason.encode("utf-8"))
+    # barriers, echoes and the features request are header-only messages
+    return _OFP_HEADER

@@ -11,11 +11,17 @@ switches, Fig. 3).
 Packets addressed to the reserved ``IP_pub/sub`` address never match a flow
 (Sec. 2: "No switch will install a flow with respect to IP_pub/sub") and are
 handed to the controller over the control channel instead.
+
+Statistics are registry-backed: each switch registers its packet counters
+into a :class:`~repro.obs.registry.MetricsRegistry` (its own private one
+when none is shared), and the familiar ``packets_*`` attributes read
+through to those instruments.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.addressing import PUBSUB_CONTROL_ADDRESS
@@ -23,6 +29,7 @@ from repro.exceptions import TopologyError
 from repro.network.flow import FlowTable
 from repro.network.link import Link
 from repro.network.packet import Packet
+from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:
     from repro.sim.engine import Simulator
@@ -48,20 +55,62 @@ class Switch:
         lookup_delay_s: float = DEFAULT_LOOKUP_DELAY_S,
         lookup_jitter_s: float = 1e-6,
         rng: random.Random | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.table = FlowTable(capacity=table_capacity)
         self.lookup_delay_s = lookup_delay_s
         self.lookup_jitter_s = lookup_jitter_s
-        self._rng = rng if rng is not None else random.Random(hash(name) & 0xFFFF)
+        # The jitter seed must be a *stable* function of the name:
+        # ``hash(str)`` is salted per process (PYTHONHASHSEED), which would
+        # silently break cross-run reproducibility of every delay sample.
+        self._rng = (
+            rng if rng is not None
+            else random.Random(zlib.crc32(name.encode("utf-8")))
+        )
         self._ports: dict[int, Link] = {}
         self._control_handler: Optional[ControlHandler] = None
         # statistics
-        self.packets_received = 0
-        self.packets_forwarded = 0
-        self.packets_dropped = 0
-        self.packets_to_controller = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._received = self.registry.counter(
+            "switch.packets_received", switch=name
+        )
+        self._forwarded = self.registry.counter(
+            "switch.packets_forwarded", switch=name
+        )
+        self._dropped = self.registry.counter(
+            "switch.packets_dropped", switch=name
+        )
+        self._to_controller = self.registry.counter(
+            "switch.packets_to_controller", switch=name
+        )
+
+    # ------------------------------------------------------------------
+    # statistics (registry-backed)
+    # ------------------------------------------------------------------
+    @property
+    def packets_received(self) -> int:
+        return self._received.value
+
+    @property
+    def packets_forwarded(self) -> int:
+        return self._forwarded.value
+
+    @property
+    def packets_dropped(self) -> int:
+        return self._dropped.value
+
+    @property
+    def packets_to_controller(self) -> int:
+        return self._to_controller.value
+
+    def reset_counters(self) -> None:
+        for counter in (
+            self._received, self._forwarded, self._dropped,
+            self._to_controller,
+        ):
+            counter.reset()
 
     # ------------------------------------------------------------------
     # wiring
@@ -93,9 +142,9 @@ class Switch:
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_port: int) -> None:
         """Handle an arriving packet: control diversion or TCAM forwarding."""
-        self.packets_received += 1
+        self._received.inc()
         if packet.dst_address == PUBSUB_CONTROL_ADDRESS:
-            self.packets_to_controller += 1
+            self._to_controller.inc()
             if self._control_handler is not None:
                 self._control_handler(self, packet, in_port)
             return
@@ -104,24 +153,31 @@ class Switch:
             # A table miss for an event means no subscriber is reachable via
             # this switch for that subspace — the packet is discarded (we do
             # not punt data packets to the controller).
-            self.packets_dropped += 1
+            self._dropped.inc()
             return
         delay = self.lookup_delay_s
         if self.lookup_jitter_s:
             delay += self._rng.uniform(0.0, self.lookup_jitter_s)
+        original_reused = False
         for action in entry.actions:
             if action.out_port == in_port and action.set_dest is None:
                 continue  # never bounce a packet back out its ingress port
             link = self._ports.get(action.out_port)
             if link is None:
-                self.packets_dropped += 1
+                self._dropped.inc()
                 continue
-            outgoing = (
-                packet.with_destination(action.set_dest)
-                if action.set_dest is not None
-                else packet.with_destination(packet.dst_address)
-            )
-            self.packets_forwarded += 1
+            if action.set_dest is not None:
+                outgoing = packet.with_destination(action.set_dest)
+            elif not original_reused:
+                # No rewrite: forward the packet object itself instead of
+                # allocating a copy per action (the hottest data-plane
+                # path); only additional no-rewrite actions need a copy so
+                # per-copy state (hop counts) stays independent.
+                outgoing = packet
+                original_reused = True
+            else:
+                outgoing = packet.with_destination(packet.dst_address)
+            self._forwarded.inc()
             self.sim.schedule(delay, link.transmit, self, outgoing)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,43 @@
+"""Sim-time observability: metrics registry, tracing, samplers, exporters.
+
+The layer every other component reports into (see ``docs/observability.md``):
+
+* :mod:`repro.obs.registry` — counters, gauges and fixed-bucket sim-time
+  histograms, registered by name + labels;
+* :mod:`repro.obs.trace` — structured spans for control-plane operations
+  (requests, flow-mod batches, tree merges, federation exchanges);
+* :mod:`repro.obs.samplers` — periodic link-utilization and TCAM-occupancy
+  probes driven by the simulator clock;
+* :mod:`repro.obs.export` — JSON/CSV exporters and the run-report renderer
+  behind ``python -m repro report``;
+* :mod:`repro.obs.context` — the :class:`Observability` bundle a deployment
+  shares between its components.
+
+Everything here is deterministic: snapshots contain only sim-time
+quantities and sorted keys, so two runs with the same seed serialise to
+byte-identical documents regardless of ``PYTHONHASHSEED``.
+"""
+
+from repro.obs.context import Observability, live_observabilities
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DELAY_BUCKETS_S,
+    OCCUPANCY_BUCKETS,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Observability",
+    "live_observabilities",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DELAY_BUCKETS_S",
+    "OCCUPANCY_BUCKETS",
+    "Span",
+    "Tracer",
+]

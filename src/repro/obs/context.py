@@ -1,0 +1,93 @@
+"""The per-deployment observability bundle.
+
+One :class:`Observability` object is created per deployment (the
+``Pleroma`` facade makes one and threads it through the fabric, the
+controllers, the federation and the metrics collector).  It owns the
+metrics registry, the tracer and any periodic samplers, and renders the
+whole lot into a single snapshot document.
+
+Live bundles are tracked in a weak set so the benchmark harness
+(``benchmarks/conftest.py``) can export whatever registries a benchmark
+created without plumbing handles through every fixture.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.samplers import (
+    LinkUtilizationProbe,
+    PeriodicSampler,
+    TcamOccupancyProbe,
+)
+from repro.obs.trace import Tracer
+
+__all__ = ["Observability", "live_observabilities"]
+
+_live: "weakref.WeakSet[Observability]" = weakref.WeakSet()
+
+
+def live_observabilities() -> list["Observability"]:
+    """Every bundle still alive, in creation order."""
+    return sorted(_live, key=lambda obs: obs._serial)
+
+
+class Observability:
+    """Registry + tracer + samplers for one deployment."""
+
+    _next_serial = 0
+
+    def __init__(self, sim, registry: MetricsRegistry | None = None) -> None:
+        self.sim = sim
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(clock=lambda: sim.now)
+        self.samplers: list[PeriodicSampler] = []
+        Observability._next_serial += 1
+        self._serial = Observability._next_serial
+        _live.add(self)
+
+    # ------------------------------------------------------------------
+    # samplers
+    # ------------------------------------------------------------------
+    def start_sampling(self, network, period_s: float) -> PeriodicSampler:
+        """Begin periodic link-utilization and TCAM-occupancy sampling."""
+        sampler = PeriodicSampler(
+            self.sim,
+            period_s,
+            [
+                LinkUtilizationProbe(network, self.registry),
+                TcamOccupancyProbe(network, self.registry),
+            ],
+        )
+        self.samplers.append(sampler)
+        return sampler.start()
+
+    def poke_samplers(self) -> None:
+        """Re-arm samplers paused by a quiet period (call on traffic)."""
+        for sampler in self.samplers:
+            sampler.poke()
+
+    def stop_sampling(self) -> None:
+        for sampler in self.samplers:
+            sampler.stop()
+
+    # ------------------------------------------------------------------
+    # snapshotting
+    # ------------------------------------------------------------------
+    def snapshot(self, include_spans: bool = True) -> dict:
+        """The full observability state as a JSON-compatible document."""
+        document = {
+            "sim_time_s": self.sim.now,
+            "metrics": self.registry.snapshot(),
+            "trace_summary": self.tracer.summary(),
+        }
+        if include_spans:
+            document["spans"] = self.tracer.to_dicts()
+        return document
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability({self.registry!r}, {self.tracer!r}, "
+            f"{len(self.samplers)} sampler(s))"
+        )

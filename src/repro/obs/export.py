@@ -1,0 +1,157 @@
+"""Snapshot exporters and the run-report renderer.
+
+Snapshots (from :meth:`Observability.snapshot` or
+:meth:`MetricsRegistry.snapshot`) are plain dictionaries; this module
+serialises them to JSON (sorted keys, so equal runs produce byte-identical
+files) or CSV (one row per instrument, friendly to spreadsheets and
+pandas), and renders the human-readable summary behind
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+__all__ = [
+    "write_json",
+    "load_json",
+    "write_csv",
+    "metrics_csv",
+    "merge_metrics",
+    "render_report",
+]
+
+
+def write_json(document: dict, path: str | Path) -> Path:
+    """Serialise a snapshot deterministically (sorted keys, fixed floats)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_json(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def metrics_csv(metrics: dict) -> str:
+    """Render a registry snapshot as ``kind,name,value`` CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["kind", "name", "value"])
+    for name in sorted(metrics.get("counters", {})):
+        writer.writerow(["counter", name, metrics["counters"][name]])
+    for name in sorted(metrics.get("gauges", {})):
+        writer.writerow(["gauge", name, repr(metrics["gauges"][name])])
+    for name in sorted(metrics.get("histograms", {})):
+        h = metrics["histograms"][name]
+        mean = h["sum"] / h["count"] if h["count"] else 0.0
+        writer.writerow(
+            ["histogram", name, f"count={h['count']};mean={mean!r};"
+                                f"min={h['min']!r};max={h['max']!r}"]
+        )
+    return out.getvalue()
+
+
+def write_csv(document: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    metrics = document.get("metrics", document)
+    path.write_text(metrics_csv(metrics), encoding="utf-8")
+    return path
+
+
+def merge_metrics(snapshots: list[dict]) -> dict:
+    """Combine registry snapshots: counters and histogram buckets add up,
+    gauges keep the last written value.  Used by the benchmark harness to
+    aggregate every deployment a session created."""
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            merged["gauges"][name] = value
+        for name, h in snap.get("histograms", {}).items():
+            into = merged["histograms"].get(name)
+            if into is None or into["edges"] != h["edges"]:
+                merged["histograms"][name] = {
+                    "edges": list(h["edges"]),
+                    "bucket_counts": list(h["bucket_counts"]),
+                    "count": h["count"],
+                    "sum": h["sum"],
+                    "min": h["min"],
+                    "max": h["max"],
+                }
+                continue
+            into["bucket_counts"] = [
+                a + b for a, b in zip(into["bucket_counts"], h["bucket_counts"])
+            ]
+            into["count"] += h["count"]
+            into["sum"] += h["sum"]
+            for side, pick in (("min", min), ("max", max)):
+                if h[side] is not None:
+                    into[side] = (
+                        h[side]
+                        if into[side] is None
+                        else pick(into[side], h[side])
+                    )
+    return {
+        "counters": dict(sorted(merged["counters"].items())),
+        "gauges": dict(sorted(merged["gauges"].items())),
+        "histograms": dict(sorted(merged["histograms"].items())),
+    }
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+def _rows(title: str, rows: list[tuple[str, str]], out: list[str]) -> None:
+    if not rows:
+        return
+    out.append(f"\n{title}")
+    out.append("-" * len(title))
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        out.append(f"{name.ljust(width)}  {value}")
+
+
+def render_report(document: dict) -> str:
+    """A terminal-friendly run summary of one exported snapshot."""
+    out: list[str] = []
+    metrics = document.get("metrics", document)
+    sim_time = document.get("sim_time_s")
+    out.append("run summary" + (f" (sim time {sim_time:.6f} s)"
+                                if sim_time is not None else ""))
+    _rows(
+        "counters",
+        [(n, str(v)) for n, v in sorted(metrics.get("counters", {}).items())],
+        out,
+    )
+    _rows(
+        "gauges",
+        [(n, f"{v:.6g}") for n, v in sorted(metrics.get("gauges", {}).items())],
+        out,
+    )
+    hist_rows = []
+    for name, h in sorted(metrics.get("histograms", {}).items()):
+        if not h["count"]:
+            continue
+        mean = h["sum"] / h["count"]
+        hist_rows.append(
+            (name, f"count={h['count']} mean={mean:.6g} "
+                   f"min={h['min']:.6g} max={h['max']:.6g}")
+        )
+    _rows("histograms", hist_rows, out)
+    trace_rows = [
+        (name, f"count={entry['count']} errors={entry['errors']} "
+               f"max={entry['max_duration_s']:.6g}s")
+        for name, entry in sorted(document.get("trace_summary", {}).items())
+    ]
+    _rows("control-plane trace", trace_rows, out)
+    return "\n".join(out) + "\n"

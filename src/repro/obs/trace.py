@@ -1,0 +1,135 @@
+"""Structured sim-time tracing for the control plane.
+
+Every control-plane operation — an ADV/SUB/UNSUB/UNADV request, a flow-mod
+batch, a tree merge, a federation exchange — is recorded as a
+:class:`Span`: kind, name, start/end *simulation* time, an outcome, and a
+dictionary of attributes (per-switch flow-mod counts, tree ids, borders).
+The resulting trace is queryable in-process and serialises into the run
+snapshot.
+
+Spans deliberately carry no wall-clock data: traces of two runs with the
+same seed compare equal byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One traced control-plane operation."""
+
+    span_id: int
+    kind: str
+    name: str
+    start: float
+    end: float | None = None
+    outcome: str = "ok"
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed sim time (0 for operations the simulator models as
+        instantaneous, e.g. direct-applier requests)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "outcome": self.outcome,
+            "attributes": {
+                k: self.attributes[k] for k in sorted(self.attributes)
+            },
+        }
+
+
+class Tracer:
+    """Collects spans against an injected clock (``lambda: sim.now``)."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._next_id = 0
+        self.spans: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def begin(self, kind: str, name: str, **attributes) -> Span:
+        """Open a span; pair with :meth:`finish`."""
+        self._next_id += 1
+        span = Span(
+            span_id=self._next_id,
+            kind=kind,
+            name=name,
+            start=self._clock(),
+            attributes=dict(attributes),
+        )
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Span, outcome: str = "ok", **attributes) -> Span:
+        span.end = self._clock()
+        span.outcome = outcome
+        span.attributes.update(attributes)
+        return span
+
+    @contextmanager
+    def span(self, kind: str, name: str, **attributes) -> Iterator[Span]:
+        """Record one operation; an escaping exception marks it ``error``."""
+        span = self.begin(kind, name, **attributes)
+        try:
+            yield span
+        except BaseException:
+            self.finish(span, outcome="error")
+            raise
+        else:
+            if span.end is None:
+                self.finish(span, outcome=span.outcome)
+
+    def event(self, kind: str, name: str, **attributes) -> Span:
+        """A zero-duration span (an instantaneous occurrence)."""
+        span = self.begin(kind, name, **attributes)
+        return self.finish(span)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def spans_of(self, kind: str, name: str | None = None) -> list[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.kind == kind and (name is None or s.name == name)
+        ]
+
+    def summary(self) -> dict:
+        """Per-(kind, name) aggregates: count, errors, total/max duration."""
+        out: dict[str, dict] = {}
+        for span in self.spans:
+            entry = out.setdefault(
+                f"{span.kind}:{span.name}",
+                {"count": 0, "errors": 0, "total_duration_s": 0.0,
+                 "max_duration_s": 0.0},
+            )
+            entry["count"] += 1
+            if span.outcome != "ok":
+                entry["errors"] += 1
+            entry["total_duration_s"] += span.duration_s
+            entry["max_duration_s"] = max(
+                entry["max_duration_s"], span.duration_s
+            )
+        return {k: out[k] for k in sorted(out)}
+
+    def to_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self.spans]
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans)} spans)"

@@ -174,6 +174,103 @@ class TestChannel:
         assert channel.messages_to_switches() == 2
         assert channel.messages_to_controller() == 1  # the barrier reply
 
+    def test_controller_bound_fifo_ordering(self, rig):
+        """Switch-to-controller traffic is FIFO too (TCP semantics): a
+        burst of packet-ins arrives in send order, serialised on the
+        connection's arrival horizon, never before the one-way latency."""
+        sim, net, channel = rig
+        seen = []
+        channel.set_handler(
+            "R1", lambda msg: seen.append((msg.packet.payload, sim.now))
+        )
+        for i in range(4):
+            net.switches["R1"].receive(
+                Packet(dst_address=PUBSUB_CONTROL_ADDRESS, payload=i),
+                in_port=net.port("R1", "h1"),
+            )
+        sim.run()
+        payloads = [p for p, _ in seen]
+        times = [t for _, t in seen]
+        assert payloads == [0, 1, 2, 3]
+        assert times == sorted(times)
+        assert times[0] >= channel.latency_s
+
+    def test_controller_bound_horizon_prevents_overtaking(self, rig):
+        """A message sent later must not arrive earlier even if the channel
+        latency drops in between (the per-connection arrival horizon)."""
+        sim, net, channel = rig
+        seen = []
+        channel.set_handler(
+            "R1", lambda msg: seen.append((msg.packet.payload, sim.now))
+        )
+        in_port = net.port("R1", "h1")
+        net.switches["R1"].receive(
+            Packet(dst_address=PUBSUB_CONTROL_ADDRESS, payload="slow"),
+            in_port=in_port,
+        )
+        channel.latency_s = 1e-6  # faster path opens up mid-stream
+        net.switches["R1"].receive(
+            Packet(dst_address=PUBSUB_CONTROL_ADDRESS, payload="fast"),
+            in_port=in_port,
+        )
+        sim.run()
+        assert [p for p, _ in seen] == ["slow", "fast"]
+        # the fast message is clamped to the slow one's arrival
+        assert seen[1][1] >= seen[0][1]
+
+    def test_replies_and_packet_ins_share_fifo_horizon(self, rig):
+        """Barrier replies and packet-ins ride the same switch-to-controller
+        connection, so a reply sent after a packet-in cannot overtake it."""
+        sim, net, channel = rig
+        order = []
+        channel.set_handler("R1", lambda msg: order.append("packet_in"))
+        net.switches["R1"].receive(
+            Packet(dst_address=PUBSUB_CONTROL_ADDRESS, payload="x"),
+            in_port=net.port("R1", "h1"),
+        )
+        channel.send("R1", BarrierRequest())
+        sim.run()
+        assert order == ["packet_in"]
+        (reply,) = channel.replies
+        assert isinstance(reply, BarrierReply)
+
+    def test_byte_accounting(self, rig):
+        from repro.network.openflow import message_size
+
+        sim, net, channel = rig
+        mod = add_mod()
+        barrier = BarrierRequest()
+        channel.send("R1", mod)
+        channel.send("R1", barrier)
+        sim.run()
+        expected_out = message_size(mod) + message_size(barrier)
+        assert channel.bytes_to_switches() == expected_out
+        (reply,) = channel.replies
+        assert channel.bytes_to_controller() == message_size(reply)
+        per = channel.per_switch_counters()
+        assert per["R1"]["to_switch_bytes"] == expected_out
+        assert per["R1"]["to_switch_messages"] == 2
+        assert per["R2"]["to_switch_bytes"] == 0
+
+    def test_byte_counters_surface_in_registry(self):
+        from repro.obs.registry import MetricsRegistry
+
+        sim = Simulator()
+        net = Network(sim, line(2, hosts_per_switch=1))
+        registry = MetricsRegistry()
+        channel = ControlChannel(sim, latency_s=1e-3, registry=registry)
+        channel.connect(net.switches["R1"])
+        channel.send("R1", add_mod())
+        sim.run()
+        snap = registry.snapshot()
+        assert (
+            snap["counters"]["control.messages{direction=to_switch}"] == 1
+        )
+        assert (
+            snap["counters"]["control.bytes{direction=to_switch}"]
+            == channel.bytes_to_switches()
+        )
+
 
 class TestControllerWithChannel:
     def test_flows_converge_and_events_flow(self):

@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry instruments."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DELAY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_needs_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_bucketing_is_inclusive_on_upper_edge(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(1.0)   # lands in the first bucket (inclusive upper edge)
+        h.observe(1.5)   # second bucket
+        h.observe(9.0)   # overflow bucket
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.min == 1.0
+        assert h.max == 9.0
+
+    def test_mean_and_quantile(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            h.observe(value)
+        assert h.mean == pytest.approx(5.5 / 4)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_past_last_edge_returns_max(self):
+        h = Histogram((1.0,))
+        h.observe(7.0)
+        assert h.quantile(1.0) == 7.0
+
+    def test_reset_keeps_reference_valid(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0
+        assert h.bucket_counts == [0, 0]
+        h.observe(0.5)
+        assert h.count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a="1") is reg.counter("x", a="1")
+        assert reg.counter("x", a="1") is not reg.counter("x", a="2")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a="1", b="2") is reg.counter(
+            "x", b="2", a="1"
+        )
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc(2)
+        reg.gauge("mid").set(0.5)
+        reg.histogram("d", DELAY_BUCKETS_S).observe(1e-3)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert snap["counters"]["alpha"] == 2
+        assert snap["histograms"]["d"]["count"] == 1
+        # the snapshot must serialise (determinism contract)
+        json.dumps(snap, sort_keys=True)
+
+    def test_reset_zeroes_counters_and_histograms(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        h = reg.histogram("h", (1.0,))
+        c.inc(3)
+        h.observe(0.5)
+        reg.reset()
+        assert c.value == 0
+        assert h.count == 0
+        # held references still feed the registry after a reset
+        c.inc()
+        h.observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 1
+        assert snap["histograms"]["h"]["count"] == 1

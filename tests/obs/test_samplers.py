@@ -1,0 +1,106 @@
+"""Tests for the periodic samplers (termination, re-arm, probe output)."""
+
+import pytest
+
+from repro.core.addressing import dz_to_address
+from repro.core.dz import Dz
+from repro.network.fabric import Network
+from repro.network.flow import Action, FlowEntry
+from repro.network.packet import Packet
+from repro.network.topology import line
+from repro.obs.context import Observability
+from repro.obs.samplers import PeriodicSampler
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    net = Network(sim, line(3))
+    obs = Observability(sim, registry=net.registry)
+    return sim, net, obs
+
+
+def inject(sim, net, count=5, spacing=1e-3):
+    """Schedule ``count`` forwarded packets R1 -> R3."""
+    dz = Dz("10")
+    for name in ("R1", "R2"):
+        out_port = net.port(name, "R2" if name == "R1" else "R3")
+        net.switches[name].table.install(
+            FlowEntry.for_dz(dz, {Action(out_port)})
+        )
+    packet = Packet(dst_address=dz_to_address(dz), payload=None)
+    for i in range(count):
+        sim.schedule_at(
+            sim.now + i * spacing, net.switches["R1"].receive, packet, 99
+        )
+
+
+class TestPeriodicSampler:
+    def test_rejects_bad_period(self, rig):
+        sim, _, _ = rig
+        with pytest.raises(ValueError):
+            PeriodicSampler(sim, 0.0, [])
+
+    def test_pauses_when_quiet_so_run_terminates(self, rig):
+        sim, net, obs = rig
+        sampler = obs.start_sampling(net, period_s=1e-3)
+        inject(sim, net, count=5)
+        sim.run()  # must terminate despite the self-rescheduling sampler
+        assert sampler.ticks >= 1
+        assert not sampler.running
+
+    def test_poke_rearms_after_quiet_period(self, rig):
+        sim, net, obs = rig
+        sampler = obs.start_sampling(net, period_s=1e-3)
+        inject(sim, net, count=2)
+        sim.run()
+        ticks_before = sampler.ticks
+        inject(sim, net, count=3, spacing=2e-3)
+        obs.poke_samplers()
+        sim.run()
+        assert sampler.ticks > ticks_before
+
+    def test_stop_prevents_further_ticks(self, rig):
+        sim, net, obs = rig
+        sampler = obs.start_sampling(net, period_s=1e-3)
+        obs.stop_sampling()
+        inject(sim, net, count=3)
+        sim.run()
+        assert sampler.ticks == 0
+        sampler.poke()  # a stopped sampler ignores pokes
+        assert not sampler.running
+
+
+class TestProbes:
+    def test_link_utilization_gauges_written(self, rig):
+        sim, net, obs = rig
+        obs.start_sampling(net, period_s=1e-3)
+        inject(sim, net, count=10, spacing=2e-4)
+        sim.run()
+        snap = obs.registry.snapshot()
+        key = "link.utilization{link=R1<->R2}"
+        assert key in snap["gauges"]
+        assert snap["histograms"]["link.utilization"]["count"] > 0
+        # only switch-switch links are sampled
+        assert not any(
+            "h1" in name
+            for name in snap["gauges"]
+            if name.startswith("link.utilization")
+        )
+
+    def test_tcam_occupancy_gauges_written(self, rig):
+        sim, net, obs = rig
+        net.switches["R1"].table.install(
+            FlowEntry.for_dz(Dz("10"), {Action(1)})
+        )
+        obs.start_sampling(net, period_s=1e-3)
+        inject(sim, net, count=3)
+        sim.run()
+        snap = obs.registry.snapshot()
+        flows = snap["gauges"]["switch.flow_entries{switch=R1}"]
+        assert flows >= 1.0
+        occupancy = snap["gauges"]["switch.tcam_occupancy{switch=R1}"]
+        assert occupancy == pytest.approx(
+            flows / net.switches["R1"].table.capacity
+        )

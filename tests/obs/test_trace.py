@@ -1,0 +1,80 @@
+"""Unit tests for sim-time tracing."""
+
+import pytest
+
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestSpans:
+    def test_begin_finish_records_times(self, tracer, clock):
+        span = tracer.begin("request", "subscribe", controller="c1")
+        clock.now = 2.5
+        tracer.finish(span, flow_mods=3)
+        assert span.start == 0.0
+        assert span.end == 2.5
+        assert span.duration_s == 2.5
+        assert span.outcome == "ok"
+        assert span.attributes == {"controller": "c1", "flow_mods": 3}
+
+    def test_context_manager_marks_errors(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("request", "advertise"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.outcome == "error"
+        assert span.end is not None
+
+    def test_event_is_zero_duration(self, tracer, clock):
+        clock.now = 1.0
+        span = tracer.event("flow_mod_batch", "patch", mods={"R1": 2})
+        assert span.start == span.end == 1.0
+
+    def test_span_ids_unique_and_ordered(self, tracer):
+        a = tracer.begin("k", "a")
+        b = tracer.begin("k", "b")
+        assert b.span_id == a.span_id + 1
+
+    def test_to_dict_sorts_attributes(self, tracer):
+        span = tracer.event("k", "n", zeta=1, alpha=2)
+        d = span.to_dict()
+        assert list(d["attributes"]) == ["alpha", "zeta"]
+
+
+class TestQuerying:
+    def test_spans_of(self, tracer):
+        tracer.event("request", "subscribe")
+        tracer.event("request", "advertise")
+        tracer.event("federation_send", "ExternalAdvertisement")
+        assert len(tracer.spans_of("request")) == 2
+        assert len(tracer.spans_of("request", "subscribe")) == 1
+
+    def test_summary_aggregates(self, tracer, clock):
+        span = tracer.begin("request", "subscribe")
+        clock.now = 1.0
+        tracer.finish(span)
+        with pytest.raises(ValueError):
+            with tracer.span("request", "subscribe"):
+                raise ValueError()
+        summary = tracer.summary()
+        entry = summary["request:subscribe"]
+        assert entry["count"] == 2
+        assert entry["errors"] == 1
+        assert entry["max_duration_s"] == 1.0

@@ -63,6 +63,37 @@ class TestRender:
         assert "dz cells" in out
 
 
+class TestReport:
+    def test_demo_snapshot_then_report(self, tmp_path, capsys):
+        snapshot = tmp_path / "snap.json"
+        assert main(
+            ["demo", "--events", "15", "--snapshot-out", str(snapshot)]
+        ) == 0
+        capsys.readouterr()
+        assert snapshot.exists()
+        assert main(["report", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "run summary" in out
+        assert "events.published" in out
+        assert "request:advertise" in out
+
+    def test_report_csv(self, tmp_path, capsys):
+        snapshot = tmp_path / "snap.json"
+        main(["demo", "--events", "5", "--snapshot-out", str(snapshot)])
+        capsys.readouterr()
+        assert main(["report", str(snapshot), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("kind,name,value")
+        assert "counter,events.published,5" in out
+
+    def test_snapshot_bytes_stable_across_runs(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["demo", "--events", "10", "--snapshot-out", str(a)])
+        main(["demo", "--events", "10", "--snapshot-out", str(b)])
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestFpr:
     def test_fpr_point(self, capsys):
         code = main(
