@@ -1,4 +1,4 @@
-"""Offline analysis helpers shared by benchmarks and the CLI."""
+"""Offline analysis: FPR evaluation and static flow-state verification."""
 
 from repro.analysis.fpr import (
     FprReport,
@@ -6,10 +6,23 @@ from repro.analysis.fpr import (
     assign_round_robin,
     evaluate_fpr,
 )
+from repro.analysis.invariants import VIOLATION_KINDS, Violation
+from repro.analysis.verify import (
+    VerificationError,
+    VerificationReport,
+    verify_controller,
+    verify_deployment,
+)
 
 __all__ = [
     "FprReport",
     "HostAssignment",
     "assign_round_robin",
     "evaluate_fpr",
+    "Violation",
+    "VIOLATION_KINDS",
+    "VerificationError",
+    "VerificationReport",
+    "verify_controller",
+    "verify_deployment",
 ]

@@ -12,7 +12,7 @@ directly without running packets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.dzset import DzSet
 from repro.core.events import Event

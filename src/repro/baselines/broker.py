@@ -18,7 +18,7 @@ ablation benchmarks can compare like with like:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.core.events import Event
 from repro.core.subscription import Subscription

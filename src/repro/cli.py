@@ -11,6 +11,11 @@ Commands
 ``soak``
     Random subscribe/unsubscribe/advertise/unadvertise churn with invariant
     checking after every step — a quick self-test of an installation.
+``check``
+    Statically verify the installed flow state (loop/blackhole freedom,
+    tree disjointness, dead rules, table drift) over seeded churn on the
+    built-in topologies; ``--self-test`` mutation-tests the verifier
+    itself by injecting known fault classes.  Exits nonzero on violations.
 ``fpr``
     Evaluate one false-positive-rate data point (the Fig. 7d measurement)
     for a chosen model, subscription count and dz length.
@@ -25,11 +30,12 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.core.events import Event
 from repro.core.spatial_index import SpatialIndexer
 from repro.core.subscription import Advertisement, Filter
+from repro.exceptions import ReproError
 from repro.middleware.pleroma import Pleroma
 from repro.network.topology import (
     Topology,
@@ -85,6 +91,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology",
         choices=sorted(_TOPOLOGIES),
         default="mininet-fat-tree",
+    )
+
+    check = sub.add_parser(
+        "check", help="statically verify the installed flow state"
+    )
+    check.add_argument(
+        "--topology",
+        choices=["all", *sorted(_TOPOLOGIES)],
+        default="all",
+        help="built-in topology to verify (default: all of them)",
+    )
+    check.add_argument(
+        "--install-mode",
+        choices=["both", "reconcile", "incremental"],
+        default="both",
+    )
+    check.add_argument("--partitions", type=int, default=1)
+    check.add_argument("--steps", type=int, default=25)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "mutation-test the verifier: inject each known fault class "
+            "into a healthy deployment and require detection"
+        ),
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable reports instead of the text summary",
     )
 
     render = sub.add_parser(
@@ -202,8 +239,11 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                 host, adv_id = live_advs.pop(rng.randrange(len(live_advs)))
                 middleware.unadvertise(host, adv_id)
             middleware.check_invariants()
-        except Exception as exc:  # pragma: no cover - failure reporting
-            print(f"FAILED at step {step}: {exc}", file=sys.stderr)
+        except ReproError as exc:  # pragma: no cover - failure reporting
+            print(
+                f"FAILED at step {step}: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
             return 1
     for host, sub_id in live_subs:
         middleware.unsubscribe(host, sub_id)
@@ -217,6 +257,176 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         f"soak OK: {args.steps} operations, invariants held, clean teardown"
     )
     return 0
+
+
+def _check_scenarios(args: argparse.Namespace) -> "Iterator[tuple[str, str]]":
+    topologies = (
+        sorted(_TOPOLOGIES) if args.topology == "all" else [args.topology]
+    )
+    modes = (
+        ["reconcile", "incremental"]
+        if args.install_mode == "both"
+        else [args.install_mode]
+    )
+    for topology in topologies:
+        for mode in modes:
+            yield topology, mode
+
+
+def _check_one_scenario(
+    topology: str, mode: str, args: argparse.Namespace
+) -> list:
+    """Drive seeded churn on one deployment, verifying after every step."""
+    from repro.analysis.verify import verify_deployment
+
+    rng = random.Random(args.seed)
+    workload = paper_uniform(dimensions=2, seed=args.seed)
+    middleware = Pleroma(
+        _topology(topology),
+        space=workload.space,
+        max_dz_length=12,
+        partitions=args.partitions,
+        install_mode=mode,
+    )
+    hosts = middleware.topology.hosts()
+    live_subs: list[tuple[str, int]] = []
+    live_advs: list[tuple[str, int]] = []
+    reports = []
+    for _ in range(args.steps):
+        roll = rng.random()
+        if roll < 0.35 or not live_advs:
+            host = rng.choice(hosts)
+            state = middleware.advertise(
+                host, Advertisement(filter=workload.subscription().filter)
+            )
+            live_advs.append((host, state.adv_id))
+        elif roll < 0.70:
+            host = rng.choice(hosts)
+            state = middleware.subscribe(host, workload.subscription())
+            live_subs.append((host, state.sub_id))
+        elif roll < 0.85 and live_subs:
+            host, sub_id = live_subs.pop(rng.randrange(len(live_subs)))
+            middleware.unsubscribe(host, sub_id)
+        else:
+            host, adv_id = live_advs.pop(rng.randrange(len(live_advs)))
+            middleware.unadvertise(host, adv_id)
+        reports.extend(verify_deployment(middleware))
+    return reports
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    if args.self_test:
+        return _cmd_check_self_test(args)
+    failures = 0
+    documents = []
+    for topology, mode in _check_scenarios(args):
+        reports = _check_one_scenario(topology, mode, args)
+        dirty = [report for report in reports if not report.ok]
+        failures += len(dirty)
+        label = f"{topology} [{mode}, partitions={args.partitions}]"
+        if args.json:
+            documents.append(
+                {
+                    "topology": topology,
+                    "install_mode": mode,
+                    "partitions": args.partitions,
+                    "steps": args.steps,
+                    "verifier_runs": len(reports),
+                    "reports": [r.to_dict() for r in dirty],
+                }
+            )
+        elif dirty:
+            print(f"{label}: FAILED")
+            for report in dirty:
+                print(report.render())
+        else:
+            print(
+                f"{label}: OK "
+                f"({len(reports)} verifier runs over {args.steps} steps)"
+            )
+    if args.json:
+        print(json.dumps({"ok": failures == 0, "scenarios": documents}))
+    elif failures:
+        print(f"check FAILED: {failures} dirty report(s)", file=sys.stderr)
+    else:
+        print("check OK: all scenarios verified clean")
+    return 1 if failures else 0
+
+
+def _cmd_check_self_test(args: argparse.Namespace) -> int:
+    """Mutation-test the verifier: every fault class must be detected."""
+    import json
+
+    from repro.analysis.faults import FAULT_INJECTORS, inject_fault
+    from repro.analysis.verify import verify_controller, verify_deployment
+
+    topology = "paper-fat-tree" if args.topology == "all" else args.topology
+    mode = "reconcile" if args.install_mode == "both" else args.install_mode
+    workload = paper_uniform(dimensions=2, seed=args.seed)
+
+    def fresh() -> Pleroma:
+        rng = random.Random(args.seed)
+        middleware = Pleroma(
+            _topology(topology),
+            space=workload.space,
+            max_dz_length=12,
+            install_mode=mode,
+        )
+        hosts = middleware.topology.hosts()
+        for _ in range(4):
+            middleware.advertise(
+                rng.choice(hosts),
+                Advertisement(filter=workload.subscription().filter),
+            )
+        for _ in range(6):
+            middleware.subscribe(rng.choice(hosts), workload.subscription())
+        return middleware
+
+    baseline = verify_deployment(fresh())
+    if any(not report.ok for report in baseline):
+        print("self-test FAILED: baseline deployment is dirty", file=sys.stderr)
+        for report in baseline:
+            print(report.render(), file=sys.stderr)
+        return 1
+    results = []
+    missed = 0
+    for fault in sorted(FAULT_INJECTORS):
+        middleware = fresh()
+        controller = middleware.controllers[0]
+        injection = inject_fault(controller, fault, seed=args.seed)
+        report = verify_controller(controller)
+        detected = sorted(injection.expected_kinds & report.kinds())
+        results.append(
+            {
+                "fault": fault,
+                "description": injection.description,
+                "expected_kinds": sorted(injection.expected_kinds),
+                "reported_kinds": sorted(report.kinds()),
+                "detected": bool(detected),
+            }
+        )
+        if not detected:
+            missed += 1
+    if args.json:
+        print(json.dumps({"ok": missed == 0, "faults": results}))
+    else:
+        for result in results:
+            status = "detected" if result["detected"] else "MISSED"
+            print(
+                f"{result['fault']}: {status} "
+                f"(expected {'/'.join(result['expected_kinds'])}, "
+                f"reported {'/'.join(result['reported_kinds']) or 'nothing'})"
+            )
+        if missed:
+            print(
+                f"self-test FAILED: {missed} fault class(es) undetected",
+                file=sys.stderr,
+            )
+        else:
+            print("self-test OK: every injected fault class was detected")
+    return 1 if missed else 0
 
 
 def _cmd_fpr(args: argparse.Namespace) -> int:
@@ -297,6 +507,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "demo": _cmd_demo,
     "soak": _cmd_soak,
+    "check": _cmd_check,
     "fpr": _cmd_fpr,
     "render": _cmd_render,
     "report": _cmd_report,

@@ -17,6 +17,7 @@ Two implementations:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import Protocol
 
 from repro.core.addressing import MulticastPrefix
@@ -65,7 +66,12 @@ class _MirroringTable(FlowTable):
     channel transparently.
     """
 
-    def __init__(self, capacity: int, sink, switch_name: str) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        sink: Callable[[str, FlowMod], None],
+        switch_name: str,
+    ) -> None:
         super().__init__(capacity=capacity)
         self._sink = sink
         self._switch_name = switch_name

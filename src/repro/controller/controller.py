@@ -36,7 +36,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Literal, Optional
+from collections.abc import Callable, Iterable, Iterator
+from typing import Literal
 
 from repro.controller.applier import ChannelApplier, DirectApplier
 from repro.controller.flow_installer import flow_addition
@@ -49,8 +50,10 @@ from repro.core.dzset import DzSet, EMPTY
 from repro.core.spatial_index import SpatialIndexer
 from repro.core.subscription import Advertisement, Subscription
 from repro.exceptions import ControllerError
+from repro.network.control_channel import ControlChannel
 from repro.network.fabric import Network
-from repro.network.flow import Action, FlowEntry
+from repro.network.flow import Action, FlowEntry, FlowTable
+from repro.network.openflow import PacketIn
 from repro.network.packet import Packet
 from repro.network.switch import Switch
 from repro.obs.context import Observability
@@ -114,7 +117,7 @@ def summarize_requests(log: list["RequestStats"], kind: str | None = None) -> di
 @dataclass
 class AdvertisementState:
     adv_id: int
-    advertisement: Optional[Advertisement]
+    advertisement: Advertisement | None
     endpoint: Endpoint
     dz_set: DzSet
 
@@ -122,7 +125,7 @@ class AdvertisementState:
 @dataclass
 class SubscriptionState:
     sub_id: int
-    subscription: Optional[Subscription]
+    subscription: Subscription | None
     endpoint: Endpoint
     dz_set: DzSet
 
@@ -139,12 +142,13 @@ class PleromaController:
         merge_threshold: int = 16,
         install_mode: InstallMode = "reconcile",
         flow_mod_latency_s: float = DEFAULT_FLOW_MOD_LATENCY_S,
-        control_channel=None,
+        control_channel: ControlChannel | None = None,
         tree_builder: str | None = None,
         auto_coarsen: bool = False,
         occupancy_threshold: float = 0.9,
         min_dz_length: int = 4,
         obs: Observability | None = None,
+        verify_after_each_request: bool = False,
     ) -> None:
         if install_mode not in ("reconcile", "incremental"):
             raise ControllerError(f"unknown install mode {install_mode!r}")
@@ -177,6 +181,11 @@ class PleromaController:
         self.auto_coarsen = auto_coarsen
         self.occupancy_threshold = occupancy_threshold
         self.min_dz_length = min_dz_length
+        # Debug hook: statically verify the whole installed flow state
+        # after every successful request (see repro.analysis.verify).
+        # Expensive — meant for tests and the `check` CLI, not production.
+        self.verify_after_each_request = verify_after_each_request
+        self._request_depth = 0
         self.coarsen_events: list[tuple[int, int]] = []  # (old, new) lengths
         self._reindexing = False
         self.reindex_listeners: list[Callable[[SpatialIndexer], None]] = []
@@ -236,7 +245,7 @@ class PleromaController:
                 self.handle_control_packet
             )
 
-    def _on_packet_in(self, message) -> None:
+    def _on_packet_in(self, message: PacketIn) -> None:
         self.handle_control_packet(
             self.network.switches[message.switch],
             message.packet,
@@ -835,11 +844,14 @@ class PleromaController:
         per_switch_before = dict(self.flow_mods_by_switch)
         created_before = self.trees.trees_created
         merged_before = self.trees.trees_merged
+        self._request_depth += 1
         try:
             yield
         except BaseException:
             self.obs.tracer.finish(span, outcome="error")
             raise
+        finally:
+            self._request_depth -= 1
         flow_mods = self.total_flow_mods - mods_before
         per_switch = {
             name: count - per_switch_before.get(name, 0)
@@ -866,6 +878,28 @@ class PleromaController:
             trees_created=stats.trees_created,
             trees_merged=stats.trees_merged,
         )
+        # Debug hook: prove the installed flow state correct before the
+        # next request is admitted.  Only at the outermost request (repair
+        # operations issue nested requests over transient state) and never
+        # mid-reindex.
+        if (
+            self.verify_after_each_request
+            and self._request_depth == 0
+            and not self._reindexing
+        ):
+            from repro.analysis.verify import verify_controller
+
+            verify_controller(self, raise_on_violation=True)
+
+    # ------------------------------------------------------------------
+    def installed_table(self, switch: str) -> "FlowTable":
+        """The controller's authoritative view of a switch's flow table.
+
+        Public read access for the static verifier and diagnostics; with a
+        control channel this is the shadow table (what the controller
+        believes is deployed), otherwise the physical TCAM itself.
+        """
+        return self._applier.table(switch)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

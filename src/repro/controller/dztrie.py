@@ -25,7 +25,7 @@ depending upon other subscribers reachable via a particular switch"
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.core.dz import Dz
 from repro.network.flow import Action
@@ -51,7 +51,7 @@ class DzTrie:
     # ------------------------------------------------------------------
     # navigation
     # ------------------------------------------------------------------
-    def _walk(self, bits: str, create: bool = False) -> Optional[_Node]:
+    def _walk(self, bits: str, create: bool = False) -> _Node | None:
         node = self._root
         for bit in bits:
             child = node.children.get(bit)
@@ -109,14 +109,14 @@ class DzTrie:
             actions |= node.counts.keys()
         return frozenset(actions)
 
-    def desired_entry(self, dz: Dz) -> Optional[frozenset[Action]]:
+    def desired_entry(self, dz: Dz) -> frozenset[Action] | None:
         """The desired flow actions at ``dz`` — None if no flow belongs
         there (nothing contributed, or fully implied by coarser flows).
 
         Matches :func:`repro.controller.reconciler.desired_flows` exactly.
         """
         parent_cumulative: set[Action] = set()
-        node: Optional[_Node] = self._root
+        node: _Node | None = self._root
         for bit in dz.bits:
             parent_cumulative |= node.counts.keys()
             node = node.children.get(bit)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.controller.controller import PleromaController
+from repro.controller.tree import SpanningTree
 from repro.exceptions import ControllerError
 from repro.network.stats import LinkUtilizationSampler
 
@@ -53,7 +54,7 @@ class OverloadManager:
             raise ControllerError("threshold must be in (0, 1]")
 
     # ------------------------------------------------------------------
-    def _paths_over_edge(self, tree, a: str, b: str) -> int:
+    def _paths_over_edge(self, tree: SpanningTree, a: str, b: str) -> int:
         """How many publisher->subscriber paths of a tree cross an edge."""
         count = 0
         for pub in tree.publishers.values():

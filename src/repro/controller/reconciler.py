@@ -26,7 +26,7 @@ is a unit test).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.dz import Dz
 from repro.network.flow import Action, FlowEntry, FlowTable

@@ -20,7 +20,7 @@ the departing path's contributions and recompute each affected switch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from collections.abc import Iterable, Mapping
 
 from repro.controller.dztrie import DzTrie
 from repro.core.dz import Dz
@@ -41,7 +41,7 @@ class Endpoint:
     name: str
     switch: str
     port: int
-    address: Optional[int] = None
+    address: int | None = None
 
     @property
     def is_virtual(self) -> bool:

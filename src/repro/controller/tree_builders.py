@@ -21,7 +21,7 @@ Builders:
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 import networkx as nx
 

@@ -13,7 +13,7 @@ coarser covering subspace would, the merge falls back to the plain union
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable, Iterator
 
 from repro.core.dz import Dz
 from repro.core.dzset import DzSet
@@ -51,7 +51,7 @@ class TreeManager:
         self.trees_merged = 0
 
     # ------------------------------------------------------------------
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SpanningTree]:
         return iter(self.trees.values())
 
     def __len__(self) -> int:

@@ -15,7 +15,8 @@ the *same* logical entity.
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.core.dz import Dz
 from repro.core.dzset import DzSet

@@ -26,7 +26,7 @@ collections of dz live in :mod:`repro.core.dzset`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.exceptions import SpatialIndexError
 
@@ -123,7 +123,7 @@ class Dz:
         """True iff the two subspaces intersect (one is a prefix of the other)."""
         return self.covers(other) or other.covers(self)
 
-    def intersect(self, other: "Dz") -> Optional["Dz"]:
+    def intersect(self, other: "Dz") -> "Dz" | None:
         """The overlap of two subspaces: the longer dz, or None if disjoint."""
         if self.covers(other):
             return other

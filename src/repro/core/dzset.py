@@ -19,7 +19,7 @@ region compare equal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.core.dz import Dz, ROOT
 

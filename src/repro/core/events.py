@@ -9,7 +9,7 @@ uses a schema of up to 10 attributes, each with domain ``[0, 1023]``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.exceptions import SchemaError
 

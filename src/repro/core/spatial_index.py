@@ -22,7 +22,7 @@ Three conversions are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.dz import Dz, ROOT
 from repro.core.dzset import DzSet

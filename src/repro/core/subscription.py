@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 from repro.core.events import Event, EventSpace
 from repro.exceptions import SchemaError

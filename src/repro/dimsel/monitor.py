@@ -12,7 +12,7 @@ future events are stamped with the correct dz.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.events import Event, EventSpace
 from repro.core.spatial_index import SpatialIndexer
@@ -40,7 +40,7 @@ class TrafficMonitor:
         self.space = space
         self.threshold = threshold
         self.max_dz_length = max_dz_length
-        self._window: Deque[Event] = deque(maxlen=window_size)
+        self._window: deque[Event] = deque(maxlen=window_size)
         self._callbacks: list[ReindexCallback] = []
         self.last_selection: DimensionSelection | None = None
         self.rounds = 0

@@ -21,7 +21,7 @@ to avoid disseminating unnecessary messages.  The selection pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ records its local border port.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.exceptions import FederationError
 from repro.network.fabric import Network

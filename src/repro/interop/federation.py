@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.controller.controller import (
     AdvertisementState,
@@ -119,10 +119,10 @@ class _PartitionState:
     # requests whose forwarding had been suppressed by the departed one.
     adv_dz: dict[RequestId, DzSet] = field(default_factory=dict)
     sub_dz: dict[RequestId, DzSet] = field(default_factory=dict)
-    adv_ingress: dict[RequestId, Optional[BorderPort]] = field(
+    adv_ingress: dict[RequestId, BorderPort | None] = field(
         default_factory=dict
     )
-    sub_ingress: dict[RequestId, Optional[BorderPort]] = field(
+    sub_ingress: dict[RequestId, BorderPort | None] = field(
         default_factory=dict
     )
 

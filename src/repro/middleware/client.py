@@ -11,7 +11,8 @@ transparent to application code).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.core.events import Event
 from repro.core.subscription import Advertisement, Filter, Subscription
@@ -76,7 +77,7 @@ class Subscriber:
 
     middleware: "Pleroma"
     host: str
-    callback: Optional[EventCallback] = None
+    callback: EventCallback | None = None
     _subscriptions: dict[int, Subscription] = field(default_factory=dict)
     received: list[Event] = field(default_factory=list)
     matched: list[Event] = field(default_factory=list)

@@ -16,7 +16,7 @@ metrics of Sec. 6:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.core.events import Event
 from repro.obs.registry import DELAY_BUCKETS_S, MetricsRegistry

@@ -17,7 +17,7 @@ code only touches this facade and the :class:`Publisher` /
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
 
 from repro.controller.controller import (
     AdvertisementState,
@@ -71,6 +71,7 @@ class Pleroma:
         flow_mod_latency_s: float | None = None,
         auto_coarsen: bool = False,
         occupancy_threshold: float = 0.9,
+        verify_after_each_request: bool = False,
     ) -> None:
         self.topology = topology
         self.sim = Simulator()
@@ -89,6 +90,7 @@ class Pleroma:
             install_mode=install_mode,
             auto_coarsen=auto_coarsen,
             occupancy_threshold=occupancy_threshold,
+            verify_after_each_request=verify_after_each_request,
         )
         if flow_mod_latency_s is not None:
             controller_kwargs["flow_mod_latency_s"] = flow_mod_latency_s
@@ -103,7 +105,7 @@ class Pleroma:
             )
             for i, chunk in enumerate(partition_switches(topology, partitions))
         ]
-        self.federation: Optional[Federation] = None
+        self.federation: Federation | None = None
         if partitions > 1:
             self.federation = Federation(
                 self.network,
@@ -112,9 +114,9 @@ class Pleroma:
                 obs=self.obs,
             )
         self.metrics = MetricsCollector(registry=self.obs.registry)
-        self.monitor: Optional[TrafficMonitor] = None
-        self._dimsel_period: Optional[float] = None
-        self._dimsel_k: Optional[int] = None
+        self.monitor: TrafficMonitor | None = None
+        self._dimsel_period: float | None = None
+        self._dimsel_k: int | None = None
         self._dimsel_handle = None
         self._dimsel_new_events = 0
         self._subscribers: dict[str, Subscriber] = {}

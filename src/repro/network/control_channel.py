@@ -19,7 +19,7 @@ control-overhead measurements (Fig. 7h); they surface through the shared
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.exceptions import FlowTableError, TopologyError
 from repro.network.openflow import (
@@ -54,7 +54,7 @@ ControllerHandler = Callable[[PacketIn], None]
 @dataclass
 class _Connection:
     switch: Switch
-    handler: Optional[ControllerHandler] = None
+    handler: ControllerHandler | None = None
     # FIFO ordering, one horizon per direction: the next message in a
     # direction may not arrive before the previous one did.
     busy_until: float = 0.0

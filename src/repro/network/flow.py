@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.core.addressing import MulticastPrefix, dz_to_prefix, prefix_to_dz
 from repro.core.dz import Dz
@@ -37,7 +37,7 @@ class Action:
     """
 
     out_port: int
-    set_dest: Optional[int] = None
+    set_dest: int | None = None
 
     def __str__(self) -> str:
         if self.set_dest is None:
@@ -135,11 +135,11 @@ class FlowTable:
     def entries(self) -> list[FlowEntry]:
         return list(self)
 
-    def get(self, match: MulticastPrefix) -> Optional[FlowEntry]:
+    def get(self, match: MulticastPrefix) -> FlowEntry | None:
         """The entry with exactly this match field, if installed."""
         return self._by_len.get(match.prefix_len, {}).get(match.network)
 
-    def get_dz(self, dz: Dz) -> Optional[FlowEntry]:
+    def get_dz(self, dz: Dz) -> FlowEntry | None:
         return self.get(dz_to_prefix(dz))
 
     # ------------------------------------------------------------------
@@ -170,10 +170,10 @@ class FlowTable:
         self._size = 0
 
     # ------------------------------------------------------------------
-    def lookup(self, address: int) -> Optional[FlowEntry]:
+    def lookup(self, address: int) -> FlowEntry | None:
         """TCAM match: the single best entry for a destination address."""
         self.lookups += 1
-        best: Optional[FlowEntry] = None
+        best: FlowEntry | None = None
         best_key = (-1, -1)
         for plen, bucket in self._by_len.items():
             network = address & _mask_of(plen)

@@ -11,7 +11,8 @@ ingest queue; arrivals beyond capacity are dropped and counted.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Callable, Optional
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.exceptions import TopologyError
 from repro.network.link import Link
@@ -62,9 +63,9 @@ class Host:
         )
         self.processing_rate_eps = processing_rate_eps
         self.queue_capacity = queue_capacity
-        self._link: Optional[Link] = None
+        self._link: Link | None = None
         self._busy_until = 0.0
-        self._on_deliver: Optional[DeliveryCallback] = None
+        self._on_deliver: DeliveryCallback | None = None
         # statistics (registry-backed)
         self.registry = registry if registry is not None else MetricsRegistry()
         self._arrived = self.registry.counter(

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+
 
 from repro.core.addressing import MulticastPrefix
 from repro.network.flow import FlowEntry
@@ -70,8 +70,8 @@ class FlowMod(OpenFlowMessage):
     """
 
     command: FlowModCommand
-    entry: Optional[FlowEntry] = None
-    match: Optional[MulticastPrefix] = None
+    entry: FlowEntry | None = None
+    match: MulticastPrefix | None = None
 
     def __post_init__(self) -> None:
         if self.command is FlowModCommand.DELETE:

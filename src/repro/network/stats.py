@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque
 
 from repro.exceptions import TopologyError
 from repro.network.fabric import Network
@@ -32,7 +31,7 @@ class LinkSample:
 @dataclass
 class _LinkHistory:
     last_bytes: int = 0
-    samples: Deque[LinkSample] = field(default_factory=lambda: deque(maxlen=256))
+    samples: deque[LinkSample] = field(default_factory=lambda: deque(maxlen=256))
 
 
 class LinkUtilizationSampler:

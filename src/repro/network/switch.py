@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import TYPE_CHECKING, Callable, Optional
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.core.addressing import PUBSUB_CONTROL_ADDRESS
 from repro.exceptions import TopologyError
@@ -70,7 +71,7 @@ class Switch:
             else random.Random(zlib.crc32(name.encode("utf-8")))
         )
         self._ports: dict[int, Link] = {}
-        self._control_handler: Optional[ControlHandler] = None
+        self._control_handler: ControlHandler | None = None
         # statistics
         self.registry = registry if registry is not None else MetricsRegistry()
         self._received = self.registry.counter(

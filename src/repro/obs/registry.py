@@ -14,7 +14,7 @@ byte-identical JSON regardless of ``PYTHONHASHSEED``.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 __all__ = [
     "Counter",

@@ -22,7 +22,7 @@ the layer stack.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.obs.registry import OCCUPANCY_BUCKETS, MetricsRegistry
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 __all__ = ["Span", "Tracer"]
 

@@ -10,7 +10,7 @@ and provides the zipfian sampler used by the interest-popularity workload
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.events import Event, EventSpace
 from repro.core.subscription import Advertisement, Filter, Subscription

@@ -1,0 +1,280 @@
+"""Unit tests for the static data-plane invariant checks.
+
+Each corruption scenario starts from a verified-clean deployment, breaks
+one invariant by hand (bypassing the controller's bookkeeping the way a
+real bug would) and asserts the matching violation kind is reported.
+"""
+
+import pytest
+
+from repro.analysis.invariants import (
+    VIOLATION_KINDS,
+    check_forwarding,
+    check_ledger,
+    check_shadowing,
+    check_table_drift,
+    check_tree_disjointness,
+)
+from repro.analysis.verify import verify_controller
+from repro.controller.tree import SpanningTree
+from repro.core.dz import Dz
+from repro.core.subscription import Advertisement, Subscription
+from repro.middleware.pleroma import Pleroma
+from repro.network.flow import Action, FlowEntry
+from repro.network.topology import paper_fat_tree, ring
+
+
+def deploy(topology=None, install_mode="reconcile"):
+    middleware = Pleroma(
+        topology if topology is not None else paper_fat_tree(),
+        dimensions=2,
+        install_mode=install_mode,
+    )
+    hosts = sorted(middleware.topology.hosts())
+    middleware.advertise(
+        hosts[0], Advertisement.of(d0=(0.0, 0.5), d1=(0.0, 1.0))
+    )
+    middleware.advertise(
+        hosts[1], Advertisement.of(d0=(0.4, 1.0), d1=(0.0, 0.6))
+    )
+    middleware.subscribe(
+        hosts[2], Subscription.of(d0=(0.1, 0.3), d1=(0.2, 0.8))
+    )
+    middleware.subscribe(
+        hosts[-1], Subscription.of(d0=(0.0, 1.0), d1=(0.0, 1.0))
+    )
+    middleware.subscribe(
+        hosts[3], Subscription.of(d0=(0.6, 0.9), d1=(0.0, 0.4))
+    )
+    return middleware
+
+
+@pytest.fixture
+def controller():
+    middleware = deploy()
+    ctrl = middleware.controllers[0]
+    assert verify_controller(ctrl).ok  # precondition: clean baseline
+    return ctrl
+
+
+class TestCleanState:
+    @pytest.mark.parametrize("install_mode", ["reconcile", "incremental"])
+    def test_no_violations(self, install_mode):
+        ctrl = deploy(install_mode=install_mode).controllers[0]
+        report = verify_controller(ctrl)
+        assert report.ok, report.render()
+        assert set(report.checks_run) == {
+            "tree_structure",
+            "tree_disjointness",
+            "ledger",
+            "table_drift",
+            "shadowing",
+            "forwarding",
+        }
+
+    def test_violation_kinds_are_registered(self, controller):
+        report = verify_controller(controller)
+        assert report.kinds() <= set(VIOLATION_KINDS)
+
+
+class TestTreeDisjointness:
+    def test_duplicate_dz_between_trees(self, controller):
+        victim = sorted(controller.trees, key=lambda t: t.tree_id)[0]
+        parents = controller.trees.tree_builder(
+            controller.topology, controller.partition, victim.root
+        )
+        rogue = SpanningTree(
+            root=victim.root, parents=parents, dz_set=victim.dz_set
+        )
+        controller.trees.trees[rogue.tree_id] = rogue
+        kinds = {v.kind for v in check_tree_disjointness(controller)}
+        assert kinds == {"tree_overlap"}
+
+
+class TestTableDrift:
+    def test_missing_entry(self, controller):
+        switch = next(
+            name
+            for name in sorted(controller.partition)
+            if controller.installed_table(name).entries()
+        )
+        entry = controller.installed_table(switch).entries()[0]
+        controller.installed_table(switch).remove(entry.match)
+        violations = check_table_drift(controller)
+        assert {v.kind for v in violations} == {"drift"}
+        assert any(
+            v.details.get("reason") == "missing_entry" for v in violations
+        )
+
+    def test_stale_extra_entry(self, controller):
+        switch = sorted(controller.partition)[0]
+        stale = FlowEntry.for_dz(
+            Dz(controller.ledger.keys_for()[0].dz.bits + "101010"),
+            {Action(1)},
+        )
+        controller.installed_table(switch).install(stale)
+        violations = check_table_drift(controller)
+        assert any(
+            v.kind == "drift" and v.details.get("reason") == "extra_entry"
+            for v in violations
+        )
+
+    def test_wrong_actions(self, controller):
+        switch = next(
+            name
+            for name in sorted(controller.partition)
+            if controller.installed_table(name).entries()
+        )
+        entry = controller.installed_table(switch).entries()[0]
+        ports = sorted(controller.network.switches[switch].ports)
+        wrong = next(
+            p for p in ports if p not in {a.out_port for a in entry.actions}
+        )
+        controller.installed_table(switch).install(
+            entry.with_actions(entry.actions | {Action(wrong)})
+        )
+        violations = check_table_drift(controller)
+        assert any(
+            v.kind == "drift" and v.details.get("reason") == "wrong_entry"
+            for v in violations
+        )
+
+    def test_foreign_flow(self, controller):
+        foreign = "NOT-A-PARTITION-SWITCH"
+        key = controller.ledger.keys_for()[0]
+        controller.ledger.add(foreign, key.dz, Action(1), key)
+        kinds = {v.kind for v in check_table_drift(controller)}
+        assert "foreign_flow" in kinds
+
+
+class TestShadowing:
+    def test_corrupted_priority_shadows_finer_entry(self, controller):
+        switch, entry = next(
+            (name, e)
+            for name in sorted(controller.partition)
+            for e in controller.installed_table(name).entries()
+        )
+        table = controller.installed_table(switch)
+        finer = FlowEntry.for_dz(entry.dz.child(0), entry.actions)
+        table.install(finer)
+        # corrupt the coarser entry's priority above the finer one's
+        table.install(entry.with_priority(finer.priority + 10))
+        violations = check_shadowing(controller)
+        assert violations
+        assert {v.kind for v in violations} == {"shadowed_rule"}
+        assert any(
+            v.details["dead_dz"] == finer.dz.bits for v in violations
+        )
+
+    def test_clean_tables_have_no_dead_rules(self, controller):
+        assert check_shadowing(controller) == []
+
+
+class TestLedger:
+    def test_dangling_subscription_reference(self, controller):
+        sub_id = next(
+            s
+            for s in sorted(controller.subscriptions)
+            if controller.ledger.keys_for(sub_id=s)
+        )
+        del controller.subscriptions[sub_id]
+        for tree in controller.trees:
+            tree.leave_subscriber(sub_id)
+        kinds = {v.kind for v in check_ledger(controller)}
+        assert "stale_path" in kinds
+
+    def test_missing_path(self, controller):
+        key = controller.ledger.keys_for()[0]
+        controller.ledger.remove_key(key)
+        kinds = {v.kind for v in check_ledger(controller)}
+        assert "missing_path" in kinds
+
+    def test_uncovered_advertisement(self, controller):
+        adv_id = sorted(controller.advertisements)[0]
+        for tree in controller.trees:
+            tree.publishers.pop(adv_id, None)
+        kinds = {v.kind for v in check_ledger(controller)}
+        assert "uncovered_advertisement" in kinds
+
+
+class TestForwarding:
+    def test_unreached_subscriber_is_a_blackhole(self, controller):
+        # cut the subscriber-facing terminal flow on an access switch
+        sub_id = next(
+            s
+            for s in sorted(controller.subscriptions)
+            if not controller.subscriptions[s].endpoint.is_virtual
+            and controller.ledger.keys_for(sub_id=s)
+        )
+        endpoint = controller.subscriptions[sub_id].endpoint
+        table = controller.installed_table(endpoint.switch)
+        for entry in list(table.entries()):
+            if any(a.set_dest is not None for a in entry.actions):
+                table.remove(entry.match)
+        violations = check_forwarding(controller)
+        kinds = {v.kind for v in violations}
+        assert "blackhole" in kinds
+
+    def test_forwarding_loop_detected(self):
+        middleware = Pleroma(ring(num_switches=4), dimensions=2)
+        hosts = sorted(middleware.topology.hosts())
+        middleware.advertise(hosts[0], Advertisement.of(d0=(0.0, 1.0)))
+        middleware.subscribe(hosts[2], Subscription.of(d0=(0.0, 1.0)))
+        ctrl = middleware.controllers[0]
+        assert verify_controller(ctrl).ok
+        dz = ctrl.ledger.keys_for()[0].dz
+        # rewire the delivery switch onward around the ring and close the
+        # cycle back into the publisher's access switch
+        cycle = ["R1", "R2", "R3", "R4", "R1"]
+        for here, there in zip(cycle, cycle[1:]):
+            port = ctrl.network.port(here, there)
+            ctrl.installed_table(here).install(
+                FlowEntry.for_dz(dz, {Action(port)})
+            )
+        violations = check_forwarding(ctrl)
+        assert "loop" in {v.kind for v in violations}
+
+    def test_output_to_dead_port_is_a_blackhole(self, controller):
+        switch = next(
+            name
+            for name in sorted(controller.partition)
+            if controller.installed_table(name).entries()
+        )
+        entry = controller.installed_table(switch).entries()[0]
+        dead_port = 10_000  # no link attached
+        controller.installed_table(switch).install(
+            entry.with_actions(frozenset({Action(dead_port)}))
+        )
+        violations = check_forwarding(controller)
+        assert any(
+            v.kind == "blackhole" and v.details.get("port") == dead_port
+            for v in violations
+        )
+
+    def test_delivery_to_nonsubscriber_is_a_misdelivery(self, controller):
+        # force a terminal flow towards an unsubscribed host sharing the
+        # access switch of the publisher whose probe will traverse it
+        key = controller.ledger.keys_for()[0]
+        pub = controller.advertisements[key.adv_id].endpoint
+        subscribed = {
+            s.endpoint.name
+            for s in controller.subscriptions.values()
+            if not s.endpoint.is_virtual
+        }
+        host = next(
+            h
+            for h in sorted(controller.topology.hosts_of(pub.switch))
+            if h not in subscribed and h != pub.name
+        )
+        port = controller.network.port(pub.switch, host)
+        address = controller.network.hosts[host].address
+        controller.installed_table(pub.switch).install(
+            FlowEntry.for_dz(key.dz, {Action(port, set_dest=address)})
+        )
+        violations = check_forwarding(controller)
+        assert "misdelivery" in {v.kind for v in violations}
+
+    def test_determinism(self, controller):
+        first = [v.to_dict() for v in check_forwarding(controller)]
+        second = [v.to_dict() for v in check_forwarding(controller)]
+        assert first == second

@@ -97,3 +97,71 @@ class TestQueries:
             Dz("0"): frozenset({Action(1)}),
             Dz("11"): frozenset({Action(2), Action(3)}),
         }
+
+
+class TestEdgeCases:
+    def test_descendants_of_dz_with_no_subtree(self):
+        trie = DzTrie()
+        trie.add(Dz("10"), Action(2))
+        assert list(trie.descendants(Dz("10"))) == []   # leaf: empty subtree
+        assert list(trie.descendants(Dz("01"))) == []   # absent node entirely
+
+    def test_descendants_skips_empty_interior_nodes(self):
+        trie = DzTrie()
+        trie.add(Dz("1011"), Action(2))  # '10' and '101' exist but are empty
+        assert list(trie.descendants(Dz("1"))) == [Dz("1011")]
+        assert list(trie.descendants(Dz("1011"))) == []
+
+    def test_double_remove_does_not_underflow(self):
+        trie = DzTrie()
+        trie.add(Dz("10"), Action(2))
+        assert trie.remove(Dz("10"), Action(2)) is True
+        # a second remove of the same holder must be a no-op, not -1
+        assert trie.remove(Dz("10"), Action(2)) is False
+        assert len(trie) == 0
+        # one fresh holder must make the pair visible again immediately
+        assert trie.add(Dz("10"), Action(2)) is True
+        assert trie.actions_at(Dz("10")) == {Action(2)}
+        assert len(trie) == 1
+
+    def test_last_holder_leaving_clears_desired_entry(self):
+        trie = DzTrie()
+        trie.add(Dz("10"), Action(2))  # two paths hold the same pair
+        trie.add(Dz("10"), Action(2))
+        trie.remove(Dz("10"), Action(2))
+        assert trie.desired_entry(Dz("10")) == {Action(2)}  # one holder left
+        trie.remove(Dz("10"), Action(2))
+        assert trie.desired_entry(Dz("10")) is None  # last holder gone
+
+
+class TestUnsubscribeDowngrade:
+    """Sec. 3.3.3: removing a subscriber downgrades shared flows to the
+    remaining subscribers' actions and deletes them only when the last
+    holder leaves."""
+
+    def test_downgrade_then_delete(self):
+        from repro.core.subscription import Advertisement, Subscription
+        from repro.network.topology import line
+        from tests.helpers import make_system
+
+        system = make_system(line(4))
+        controller = system.controller
+        controller.advertise("h1", Advertisement.of(attr0=(0, 1023)))
+        near = controller.subscribe("h3", Subscription.of(attr0=(512, 767)))
+        far = controller.subscribe("h4", Subscription.of(attr0=(512, 767)))
+        # R3 serves both: terminal delivery to h3 plus transit towards R4
+        [entry] = controller.installed_table("R3").entries()
+        assert len(entry.actions) == 2
+        terminal = {a for a in entry.actions if a.set_dest is not None}
+        assert len(terminal) == 1
+
+        controller.unsubscribe(far.sub_id)
+        # downgraded, not deleted: only h3's terminal action remains
+        [entry] = controller.installed_table("R3").entries()
+        assert entry.actions == frozenset(terminal)
+        assert controller.installed_table("R4").entries() == []
+
+        controller.unsubscribe(near.sub_id)
+        # last holder left: the flow disappears everywhere
+        for switch in sorted(controller.partition):
+            assert controller.installed_table(switch).entries() == []

@@ -132,3 +132,99 @@ class TestFpr:
             return float(out.split("FPR = ")[1].split("%")[0])
 
         assert rate(18) <= rate(4)
+
+
+class TestCheck:
+    def test_check_single_scenario_clean(self, capsys):
+        code = main(
+            ["check", "--topology", "line", "--install-mode", "reconcile",
+             "--steps", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "line [reconcile, partitions=1]: OK" in out
+        assert "check OK" in out
+
+    def test_check_both_modes(self, capsys):
+        code = main(["check", "--topology", "line", "--steps", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[reconcile" in out
+        assert "[incremental" in out
+
+    def test_check_json_document(self, capsys):
+        import json
+
+        code = main(
+            ["check", "--topology", "line", "--install-mode", "reconcile",
+             "--steps", "4", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        scenario = document["scenarios"][0]
+        assert scenario["topology"] == "line"
+        assert scenario["verifier_runs"] == 4
+        assert scenario["reports"] == []
+
+    def test_check_exits_nonzero_on_violations(self, capsys, monkeypatch):
+        import repro.analysis.verify as verify_module
+        from repro.analysis.invariants import Violation
+
+        real = verify_module.verify_controller
+
+        def corrupted(controller, **kwargs):
+            report = real(controller, **kwargs)
+            violation = Violation(
+                kind="drift",
+                controller=controller.name,
+                subject="R1",
+                message="synthetic violation for the exit-code test",
+            )
+            return type(report)(
+                controller=report.controller,
+                violations=report.violations + (violation,),
+                checks_run=report.checks_run,
+            )
+
+        monkeypatch.setattr(verify_module, "verify_controller", corrupted)
+        code = main(
+            ["check", "--topology", "line", "--install-mode", "reconcile",
+             "--steps", "2"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out + captured.err
+        assert "synthetic violation" in captured.out
+
+    def test_check_self_test_detects_every_fault(self, capsys):
+        code = main(["check", "--self-test"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self-test OK" in out
+        for fault in (
+            "dropped_flow_mod",
+            "flipped_port",
+            "duplicated_tree_dz",
+            "stale_entry_after_unsubscribe",
+        ):
+            assert f"{fault}: detected" in out
+
+    def test_check_self_test_json(self, capsys):
+        import json
+
+        code = main(["check", "--self-test", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert len(document["faults"]) == 4
+        assert all(f["detected"] for f in document["faults"])
+
+    def test_check_deterministic_output(self, capsys):
+        args = ["check", "--topology", "line", "--install-mode",
+                "reconcile", "--steps", "6", "--seed", "9"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        assert first == second

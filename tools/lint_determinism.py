@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Determinism lint: forbid nondeterminism sources inside ``src/repro``.
+
+The simulator's contract (PR 1) is bit-identical runs for identical seeds.
+That contract is easy to break silently — one ``random.random()`` in a code
+path, one ``hash()``-derived seed (salted per process via PYTHONHASHSEED),
+one ``os.environ`` read changing behaviour between machines.  This linter
+walks the AST of every file under ``src/repro`` and rejects:
+
+``unseeded-random``
+    Calls of module-level ``random.*`` functions (``random.random()``,
+    ``random.choice()``, ...).  Constructing an explicitly seeded
+    ``random.Random(seed)`` instance is fine — all randomness must flow
+    through such instances (or :func:`repro.sim.rng.make_rng`).
+``wall-clock``
+    ``time.time()`` / ``time.time_ns()`` and ``datetime`` ``now()`` /
+    ``utcnow()`` / ``today()``.  Simulated time comes from the event loop;
+    ``time.perf_counter()`` stays allowed because it measures *host*
+    compute cost, which is reported but never fed back into the model.
+``hash-builtin``
+    The ``hash()`` builtin.  Its output for strings is salted per process,
+    so seeds or orderings derived from it differ across runs.
+``env-dependent``
+    ``os.environ`` / ``os.getenv`` reads.  Behaviour must be a function of
+    explicit arguments, not of ambient environment.
+
+``src/repro/sim/rng.py`` is allowlisted wholesale: it is the one sanctioned
+wrapper around the ``random`` module.  Individual lines elsewhere can be
+exempted with a ``# determinism: allow`` comment, which this linter treats
+as an audited, deliberate exception.
+
+Usage::
+
+    python tools/lint_determinism.py [ROOT ...]
+
+with ``src/repro`` as the default root.  Exits 1 when violations exist.
+The module is importable (``check_file``, ``lint_paths``) for tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["LintViolation", "check_file", "check_source", "lint_paths", "main"]
+
+#: Files (relative to the scanned root) that wrap ``random`` on purpose.
+ALLOWED_FILES = frozenset({Path("sim/rng.py")})
+
+#: Marker comment that exempts a single line.
+ALLOW_MARKER = "# determinism: allow"
+
+_RANDOM_MODULE_ALLOWED = frozenset({"Random", "SystemRandom"})
+_TIME_BANNED = frozenset({"time", "time_ns"})
+_DATETIME_BANNED = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One banned construct at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: list[str]) -> None:
+        self.path = path
+        self.source_lines = source_lines
+        self.violations: list[LintViolation] = []
+
+    # ------------------------------------------------------------------
+    def _allowed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if not 1 <= line <= len(self.source_lines):
+            return False
+        return ALLOW_MARKER in self.source_lines[line - 1]
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        if not self._allowed(node):
+            self.violations.append(
+                LintViolation(self.path, node.lineno, rule, message)
+            )
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            module, attr = func.value.id, func.attr
+            if (
+                module == "random"
+                and attr not in _RANDOM_MODULE_ALLOWED
+            ):
+                self._flag(
+                    node,
+                    "unseeded-random",
+                    f"random.{attr}() uses the shared unseeded RNG; "
+                    f"thread an explicit random.Random(seed) instead",
+                )
+            elif module == "time" and attr in _TIME_BANNED:
+                self._flag(
+                    node,
+                    "wall-clock",
+                    f"time.{attr}() reads the wall clock; use the "
+                    f"simulator's clock (sim.now) or time.perf_counter() "
+                    f"for host-cost measurement",
+                )
+            elif module in {"datetime", "date"} and attr in _DATETIME_BANNED:
+                self._flag(
+                    node,
+                    "wall-clock",
+                    f"{module}.{attr}() reads the wall clock",
+                )
+            elif module == "os" and attr == "getenv":
+                self._flag(
+                    node,
+                    "env-dependent",
+                    "os.getenv() makes behaviour depend on the ambient "
+                    "environment; accept an explicit argument instead",
+                )
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Attribute
+        ):
+            # datetime.datetime.now() / datetime.date.today()
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id == "datetime"
+                and func.attr in _DATETIME_BANNED
+            ):
+                self._flag(
+                    node,
+                    "wall-clock",
+                    f"datetime.{inner.attr}.{func.attr}() reads the wall "
+                    f"clock",
+                )
+        elif isinstance(func, ast.Name) and func.id == "hash":
+            self._flag(
+                node,
+                "hash-builtin",
+                "hash() is salted per process (PYTHONHASHSEED); derive "
+                "seeds/orderings from zlib.crc32 or explicit keys",
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+            and node.attr == "environ"
+        ):
+            self._flag(
+                node,
+                "env-dependent",
+                "os.environ makes behaviour depend on the ambient "
+                "environment; accept an explicit argument instead",
+            )
+        self.generic_visit(node)
+
+
+def check_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Lint one source string; ``path`` is used for reporting only."""
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(path, source.splitlines())
+    visitor.visit(tree)
+    return sorted(visitor.violations, key=lambda v: (v.line, v.rule))
+
+
+def check_file(path: Path) -> list[LintViolation]:
+    return check_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def _python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def lint_paths(roots: Iterable[Path]) -> list[LintViolation]:
+    violations: list[LintViolation] = []
+    for root in roots:
+        root = Path(root)
+        for path in _python_files(root):
+            relative = path.relative_to(root) if root.is_dir() else path
+            if relative in ALLOWED_FILES:
+                continue
+            violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    roots = [Path(arg) for arg in argv] or [Path("src/repro")]
+    missing = [root for root in roots if not root.exists()]
+    if missing:
+        for root in missing:
+            print(f"error: no such path: {root}", file=sys.stderr)
+        return 2
+    violations = lint_paths(roots)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(
+            f"determinism lint: {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism lint: OK ({', '.join(str(r) for r in roots)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
