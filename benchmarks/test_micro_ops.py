@@ -97,6 +97,146 @@ def test_switch_forward_no_rewrite(benchmark):
     assert sw.packets_dropped == 0
 
 
+def test_switch_forward_flight_enabled(benchmark):
+    """The same transit hop with the flight recorder attached and
+    sampling every packet — the full-instrumentation worst case."""
+    from repro.network.packet import Packet
+    from repro.obs.flight import FlightRecorder
+
+    sim = Simulator()
+    net = Network(sim, line(4))
+    net.attach_flight_recorder(FlightRecorder(clock=lambda: sim.now))
+    sw = net.switches["R2"]
+    dz = Dz.from_value(5, 8)
+    in_port = net.port("R2", "R1")
+    out_port = net.port("R2", "R3")
+    sw.table.install(FlowEntry.for_dz(dz, {Action(out_port)}))
+    packet = Packet(dst_address=dz_to_address(dz), payload=None)
+
+    def forward_and_drain():
+        sw.receive(packet, in_port)
+        sim.run()
+
+    benchmark(forward_and_drain)
+    assert sw.packets_forwarded > 0
+
+
+# ----------------------------------------------------------------------
+# flight-recorder disabled-overhead acceptance check
+#
+# The hot path with *no* recorder attached must stay within 5% of a
+# hook-free replica of the same code.  The replica functions below are
+# the device methods with the flight-hook lines deleted and the
+# downstream calls rerouted to each other, so a drained iteration runs
+# entirely without the ``self._flight`` guards.
+# ----------------------------------------------------------------------
+def _receive_replica(sw, packet, in_port):
+    from repro.core.addressing import PUBSUB_CONTROL_ADDRESS
+
+    sw._received.inc()
+    if packet.dst_address == PUBSUB_CONTROL_ADDRESS:
+        sw._to_controller.inc()
+        if sw._control_handler is not None:
+            sw._control_handler(sw, packet, in_port)
+        return
+    entry = sw.table.lookup(packet.dst_address)
+    if entry is None:
+        sw._dropped_table_miss.inc()
+        return
+    delay = sw.lookup_delay_s
+    if sw.lookup_jitter_s:
+        delay += sw._rng.uniform(0.0, sw.lookup_jitter_s)
+    original_reused = False
+    for action in entry.actions:
+        if action.out_port == in_port and action.set_dest is None:
+            continue
+        link = sw._ports.get(action.out_port)
+        if link is None:
+            sw._dropped_no_link.inc()
+            continue
+        if action.set_dest is not None:
+            outgoing = packet.with_destination(action.set_dest)
+        elif not original_reused:
+            outgoing = packet
+            original_reused = True
+        else:
+            outgoing = packet.with_destination(packet.dst_address)
+        sw._forwarded.inc()
+        sw.sim.schedule(delay, _transmit_replica, link, sw, outgoing)
+
+
+def _transmit_replica(link, sender, packet):
+    if not link.up:
+        link._lost_down.inc()
+        return
+    receiver, far_port = link.endpoint_for(sender)
+    direction = link._dir_ab if sender is link.a else link._dir_ba
+    serialization = packet.size_bytes * 8.0 / link.bandwidth_bps
+    start = max(link.sim.now, direction.busy_until)
+    direction.busy_until = start + serialization
+    arrival = direction.busy_until + link.delay_s
+    direction.packets.inc()
+    direction.bytes.inc(packet.size_bytes)
+    packet.hops += 1
+    link.sim.schedule_at(arrival, _receive_replica, receiver, packet, far_port)
+
+
+def _forward_rig():
+    from repro.network.packet import Packet
+
+    sim = Simulator()
+    net = Network(sim, line(4))
+    sw = net.switches["R2"]
+    dz = Dz.from_value(5, 8)
+    sw.table.install(
+        FlowEntry.for_dz(dz, {Action(net.port("R2", "R3"))})
+    )
+    packet = Packet(dst_address=dz_to_address(dz), payload=None)
+    return sim, sw, packet, net.port("R2", "R1")
+
+
+def test_flight_recorder_disabled_overhead():
+    """Acceptance: detached flight hooks cost <5% on the hot forwarding
+    path.  Interleaved min-of-rounds timing of the real (hooked, but
+    recorder-less) pipeline against the hook-free replica; the minimum
+    filters scheduler noise, interleaving filters thermal drift."""
+    import time
+
+    iterations, rounds = 2000, 7
+
+    sim_h, sw_h, pkt_h, port_h = _forward_rig()
+
+    def hooked():
+        sw_h.receive(pkt_h, port_h)
+        sim_h.run()
+
+    sim_r, sw_r, pkt_r, port_r = _forward_rig()
+
+    def replica():
+        _receive_replica(sw_r, pkt_r, port_r)
+        sim_r.run()
+
+    def timed(fn):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        return time.perf_counter() - start
+
+    timed(hooked), timed(replica)  # warm-up
+    hooked_times, replica_times = [], []
+    for _ in range(rounds):
+        hooked_times.append(timed(hooked))
+        replica_times.append(timed(replica))
+    ratio = min(hooked_times) / min(replica_times)
+    # both pipelines did identical forwarding work
+    assert sw_h.packets_forwarded == sw_r.packets_forwarded
+    assert ratio < 1.05, (
+        f"disabled flight hooks cost {(ratio - 1) * 100:.2f}% "
+        f"(budget 5%): hooked={min(hooked_times):.4f}s "
+        f"replica={min(replica_times):.4f}s"
+    )
+
+
 def test_event_through_fabric(benchmark):
     workload = paper_zipfian(dimensions=2, seed=7)
     sim = Simulator()

@@ -23,6 +23,12 @@ Commands
     Render an exported observability snapshot (``demo --snapshot-out``,
     :meth:`Pleroma.export_obs` or the benchmark harness) as a terminal
     run summary; ``--csv`` re-exports the metrics as CSV instead.
+``trace``
+    Run the demo workload with the data-plane flight recorder enabled and
+    render per-event hop timelines, the delay attribution, the drop
+    forensics and a per-link hotness table; ``--out`` exports the
+    deterministic trace document, ``--chrome-out`` writes Chrome
+    trace-event JSON (load in ``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
@@ -154,6 +160,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv",
         action="store_true",
         help="emit the metrics as CSV instead of the run summary",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="flight-record the demo workload and render paths"
+    )
+    trace.add_argument("--events", type=int, default=50)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="record 1 in N packets (seeded, deterministic; default: all)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=3,
+        help="number of per-event timelines to render (default 3)",
+    )
+    trace.add_argument(
+        "--fail-link",
+        action="store_true",
+        help="take a core link down mid-run to exercise link-down drops",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="export the full trace document (records + analysis) as JSON",
+    )
+    trace.add_argument(
+        "--chrome-out",
+        metavar="PATH",
+        default=None,
+        help="export Chrome trace-event JSON for chrome://tracing",
     )
     return parser
 
@@ -503,6 +545,109 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.paths import (
+        analyze_flight,
+        chrome_trace,
+        render_link_hotness,
+        render_timeline,
+    )
+
+    rng = random.Random(args.seed)
+    middleware = Pleroma(paper_fat_tree(), dimensions=2, max_dz_length=12)
+    recorder = middleware.enable_flight_recorder(
+        sample_every=args.sample_every, seed=args.seed
+    )
+    publisher = middleware.publisher("h1")
+    publisher.advertise(Filter.of())
+    # Subscribers deliberately cover only part of the event space: events
+    # in the uncovered band die as table-miss drops at the access switch,
+    # so the forensics section always has something to attribute.
+    for host, band in (("h4", (0, 340)), ("h6", (341, 680))):
+        middleware.subscriber(host).subscribe(Filter.of(attr0=band))
+    if args.fail_link:
+        # kill a subscriber's access link *without* telling the controller:
+        # a pure data-plane failure, visible only as link-down drops
+        victim = middleware.topology.access_switch("h6")
+        middleware.sim.schedule(
+            args.events * 5e-4,
+            middleware.network.link_between("h6", victim).fail,
+        )
+    for i in range(args.events):
+        middleware.sim.schedule(
+            i * 1e-3,
+            middleware.publish,
+            "h1",
+            Event.of(attr0=rng.uniform(0, 1023), attr1=rng.uniform(0, 1023)),
+        )
+    middleware.run()
+
+    report = analyze_flight(recorder, middleware.topology)
+    summary = report.summary()
+    stats = recorder.stats
+    print(
+        f"trace: {args.events} events, 1-in-{args.sample_every} sampling, "
+        f"{stats.packets_sampled}/{stats.packets_seen} packets sampled, "
+        f"{len(recorder)} hop records"
+    )
+    print(
+        f"deliveries: {summary['deliveries']} "
+        f"({summary['duplicates']} duplicate(s)), "
+        f"drops: {summary['drops']}"
+    )
+    for reason, count in summary["drop_counts"].items():
+        print(f"  {reason}: {count}")
+    print("delay attribution (summed over deliveries):")
+    for component, total in summary["delay_attribution_s"].items():
+        print(f"  {component:<18} {total * 1e3:.4f} ms")
+    if summary["mean_stretch"] is not None:
+        print(
+            f"path stretch: mean {summary['mean_stretch']:.4g}, "
+            f"max {summary['max_stretch']:.4g}"
+        )
+    grouped = recorder.by_packet()
+    for delivery in report.deliveries[: max(0, args.limit)]:
+        delay = (
+            f"{delivery.delay_s * 1e3:.3f} ms"
+            if delivery.delay_s is not None
+            else "incomplete"
+        )
+        stretch = (
+            f", stretch {delivery.stretch:.2f}"
+            if delivery.stretch is not None
+            else ""
+        )
+        print(
+            f"\npacket {delivery.packet_id} "
+            f"({delivery.publisher or '?'} -> {delivery.host}, {delay}, "
+            f"{delivery.hops} link(s){stretch}):"
+        )
+        print(render_timeline(grouped.get(delivery.packet_id, [])))
+    print("\nper-link hotness (sampled packets per direction):")
+    print(render_link_hotness(report.link_hotness))
+    if args.out is not None:
+        from repro.obs.export import write_json
+
+        document = {
+            "workload": {
+                "events": args.events,
+                "seed": args.seed,
+                "sample_every": args.sample_every,
+                "fail_link": bool(args.fail_link),
+            },
+            "report": report.to_dict(),
+            "records": recorder.to_dicts(),
+        }
+        write_json(document, args.out)
+        print(f"\ntrace written:      {args.out}")
+    if args.chrome_out is not None:
+        from repro.obs.export import write_json
+
+        write_json(chrome_trace(recorder), args.chrome_out)
+        print(f"chrome trace:       {args.chrome_out}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "demo": _cmd_demo,
@@ -511,6 +656,7 @@ _COMMANDS = {
     "fpr": _cmd_fpr,
     "render": _cmd_render,
     "report": _cmd_report,
+    "trace": _cmd_trace,
 }
 
 

@@ -406,6 +406,36 @@ class Pleroma:
         of simulated time (pauses in quiet periods; publishing re-arms)."""
         return self.obs.start_sampling(self.network, period_s)
 
+    def enable_flight_recorder(
+        self,
+        sample_every: int = 1,
+        capacity: int = 65_536,
+        seed: int = 0,
+    ):
+        """Record per-packet hop histories on the data plane.
+
+        Off by default (the hooks cost one ``is not None`` test per
+        packet when detached).  ``sample_every=N`` records 1 in N packets
+        with a decision drawn from a seeded RNG, so identical-seed runs
+        sample identically.  See :mod:`repro.obs.flight`.
+        """
+        return self.obs.enable_flight(
+            self.network,
+            sample_every=sample_every,
+            capacity=capacity,
+            seed=seed,
+        )
+
+    def disable_flight_recorder(self) -> None:
+        """Detach the flight recorder and discard its records."""
+        self.obs.disable_flight()
+
+    def flight_report(self):
+        """Path analytics over the recorded hop histories: delivery
+        trees, delay attribution, drop forensics, path stretch
+        (:class:`repro.obs.paths.FlightReport`)."""
+        return self.obs.flight_report()
+
     def obs_snapshot(self, include_spans: bool = True) -> dict:
         """The deployment's full observability state (JSON-compatible)."""
         return self.obs.snapshot(include_spans=include_spans)

@@ -149,6 +149,16 @@ class Network:
     def total_link_packets(self) -> int:
         return sum(link.total_packets for link in self.links.values())
 
+    def attach_flight_recorder(self, recorder) -> None:
+        """Attach (or with ``None``, detach) a data-plane flight recorder
+        to every device of the fabric.  See :mod:`repro.obs.flight`."""
+        for name in sorted(self.switches):
+            self.switches[name].set_flight_recorder(recorder)
+        for name in sorted(self.hosts):
+            self.hosts[name].set_flight_recorder(recorder)
+        for key in sorted(self.links, key=sorted):
+            self.links[key].set_flight_recorder(recorder)
+
     def reset_counters(self) -> None:
         for link in self.links.values():
             link.reset_counters()

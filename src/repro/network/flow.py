@@ -81,6 +81,29 @@ class FlowEntry:
     def out_ports(self) -> frozenset[int]:
         return frozenset(a.out_port for a in self.actions)
 
+    def sorted_actions(self) -> tuple[Action, ...]:
+        """The actions in (port, rewrite) order, cached per entry.
+
+        ``frozenset`` iteration order varies per process (``set_dest`` is
+        often ``None``, whose hash is address-derived on CPython < 3.12),
+        so the switch must never let it decide the replication order at
+        fan-out points — that order is observable in flight records and
+        in host arrival sequences.
+        """
+        cached = self.__dict__.get("_sorted_actions")
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    self.actions,
+                    key=lambda a: (
+                        a.out_port,
+                        -1 if a.set_dest is None else a.set_dest,
+                    ),
+                )
+            )
+            object.__setattr__(self, "_sorted_actions", cached)
+        return cached
+
     def covers(self, other: "FlowEntry") -> bool:
         """Full flow containment (Sec. 3.3.2): coarser-or-equal match *and*
         a superset of the other's actions."""

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Protocol
 
 from repro.exceptions import TopologyError
 from repro.network.packet import Packet
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import Counter, MetricsRegistry
 
 if TYPE_CHECKING:
@@ -73,9 +74,15 @@ class Link:
         self.delay_s = delay_s
         self.bandwidth_bps = bandwidth_bps
         self.up = True
-        self.packets_lost_down = 0
+        self._flight: FlightRecorder | None = None
         self.registry = registry if registry is not None else MetricsRegistry()
         label = f"{a.name}<->{b.name}"
+        # Registry-backed so down-loss shows up in snapshots, the report
+        # CLI and every exporter — it used to be a plain attribute that no
+        # observability surface could see.
+        self._lost_down = self.registry.counter(
+            "link.packets_lost_down", link=label
+        )
         self._dir_ab = _Direction(
             packets=self.registry.counter(
                 "link.packets", link=label, direction=f"{a.name}->{b.name}"
@@ -102,6 +109,16 @@ class Link:
         """Bring the link back up."""
         self.up = True
 
+    def set_flight_recorder(self, recorder: FlightRecorder | None) -> None:
+        """Attach (or detach, with ``None``) the data-plane flight
+        recorder."""
+        self._flight = recorder
+
+    @property
+    def packets_lost_down(self) -> int:
+        """Packets lost to transmissions while the link was down."""
+        return self._lost_down.value
+
     # ------------------------------------------------------------------
     def endpoint_for(self, node: NetworkNode) -> tuple[NetworkNode, int]:
         """The (far node, far port) seen from ``node``."""
@@ -122,8 +139,17 @@ class Link:
     # ------------------------------------------------------------------
     def transmit(self, sender: NetworkNode, packet: Packet) -> None:
         """Send a packet from ``sender`` to the far end of the link."""
+        flight = self._flight
+        if flight is not None and not flight.wants(packet.packet_id):
+            flight = None
         if not self.up:
-            self.packets_lost_down += 1
+            self._lost_down.inc()
+            if flight is not None:
+                receiver, _ = self.endpoint_for(sender)
+                flight.add(
+                    packet.packet_id, "link_tx", sender.name,
+                    drop="link-down", src=sender.name, dst=receiver.name,
+                )
             return
         receiver, far_port = self.endpoint_for(sender)
         direction = self._dir_ab if sender is self.a else self._dir_ba
@@ -134,6 +160,15 @@ class Link:
         direction.packets.inc()
         direction.bytes.inc(packet.size_bytes)
         packet.hops += 1
+        if flight is not None:
+            flight.add(
+                packet.packet_id, "link_tx", sender.name,
+                src=sender.name, dst=receiver.name,
+                queueing_s=start - self.sim.now,
+                serialization_s=serialization,
+                propagation_s=self.delay_s,
+                arrival=arrival,
+            )
         self.sim.schedule_at(arrival, receiver.receive, packet, far_port)
 
     # ------------------------------------------------------------------
@@ -146,6 +181,7 @@ class Link:
         return self._dir_ab.bytes.value + self._dir_ba.bytes.value
 
     def reset_counters(self) -> None:
+        self._lost_down.reset()
         for direction in (self._dir_ab, self._dir_ba):
             direction.packets.reset()
             direction.bytes.reset()

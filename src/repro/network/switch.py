@@ -30,6 +30,7 @@ from repro.exceptions import TopologyError
 from repro.network.flow import FlowTable
 from repro.network.link import Link
 from repro.network.packet import Packet
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:
@@ -72,6 +73,8 @@ class Switch:
         )
         self._ports: dict[int, Link] = {}
         self._control_handler: ControlHandler | None = None
+        # data-plane flight recorder (attached per deployment; None = off)
+        self._flight: FlightRecorder | None = None
         # statistics
         self.registry = registry if registry is not None else MetricsRegistry()
         self._received = self.registry.counter(
@@ -80,8 +83,14 @@ class Switch:
         self._forwarded = self.registry.counter(
             "switch.packets_forwarded", switch=name
         )
-        self._dropped = self.registry.counter(
-            "switch.packets_dropped", switch=name
+        # Drops are counted per reason: a table miss (no subscriber
+        # reachable through this switch) and a matched action whose output
+        # port has no link are different failure modes.
+        self._dropped_table_miss = self.registry.counter(
+            "switch.packets_dropped", reason="table-miss", switch=name
+        )
+        self._dropped_no_link = self.registry.counter(
+            "switch.packets_dropped", reason="no-link", switch=name
         )
         self._to_controller = self.registry.counter(
             "switch.packets_to_controller", switch=name
@@ -100,7 +109,15 @@ class Switch:
 
     @property
     def packets_dropped(self) -> int:
-        return self._dropped.value
+        return self._dropped_table_miss.value + self._dropped_no_link.value
+
+    @property
+    def packets_dropped_table_miss(self) -> int:
+        return self._dropped_table_miss.value
+
+    @property
+    def packets_dropped_no_link(self) -> int:
+        return self._dropped_no_link.value
 
     @property
     def packets_to_controller(self) -> int:
@@ -108,8 +125,8 @@ class Switch:
 
     def reset_counters(self) -> None:
         for counter in (
-            self._received, self._forwarded, self._dropped,
-            self._to_controller,
+            self._received, self._forwarded, self._dropped_table_miss,
+            self._dropped_no_link, self._to_controller,
         ):
             counter.reset()
 
@@ -125,6 +142,12 @@ class Switch:
     def set_control_handler(self, handler: ControlHandler) -> None:
         """Register the controller callback for ``IP_pub/sub`` packets."""
         self._control_handler = handler
+
+    def set_flight_recorder(self, recorder: FlightRecorder | None) -> None:
+        """Attach (or detach, with ``None``) the data-plane flight
+        recorder.  Detached is the default and costs one ``is not None``
+        test per packet."""
+        self._flight = recorder
 
     @property
     def ports(self) -> dict[int, Link]:
@@ -144,8 +167,17 @@ class Switch:
     def receive(self, packet: Packet, in_port: int) -> None:
         """Handle an arriving packet: control diversion or TCAM forwarding."""
         self._received.inc()
+        # narrow once: ``flight`` stays None unless this packet is sampled
+        flight = self._flight
+        if flight is not None and not flight.wants(packet.packet_id):
+            flight = None
         if packet.dst_address == PUBSUB_CONTROL_ADDRESS:
             self._to_controller.inc()
+            if flight is not None:
+                flight.add(
+                    packet.packet_id, "switch_recv", self.name,
+                    to_controller=True, in_port=in_port,
+                )
             if self._control_handler is not None:
                 self._control_handler(self, packet, in_port)
             return
@@ -154,18 +186,40 @@ class Switch:
             # A table miss for an event means no subscriber is reachable via
             # this switch for that subspace — the packet is discarded (we do
             # not punt data packets to the controller).
-            self._dropped.inc()
+            self._dropped_table_miss.inc()
+            if flight is not None:
+                flight.add(
+                    packet.packet_id, "switch_recv", self.name,
+                    drop="table-miss", tcam_hit=False, in_port=in_port,
+                )
             return
         delay = self.lookup_delay_s
         if self.lookup_jitter_s:
             delay += self._rng.uniform(0.0, self.lookup_jitter_s)
+        if flight is not None:
+            flight.add(
+                packet.packet_id, "switch_recv", self.name,
+                tcam_hit=True, lookup_s=delay, in_port=in_port,
+                flow=str(entry.dz),
+            )
         original_reused = False
-        for action in entry.actions:
+        for action in entry.sorted_actions():
             if action.out_port == in_port and action.set_dest is None:
-                continue  # never bounce a packet back out its ingress port
+                # never bounce a packet back out its ingress port
+                if flight is not None:
+                    flight.add(
+                        packet.packet_id, "switch_recv", self.name,
+                        drop="ingress-bounce", out_port=action.out_port,
+                    )
+                continue
             link = self._ports.get(action.out_port)
             if link is None:
-                self._dropped.inc()
+                self._dropped_no_link.inc()
+                if flight is not None:
+                    flight.add(
+                        packet.packet_id, "switch_recv", self.name,
+                        drop="no-link", out_port=action.out_port,
+                    )
                 continue
             if action.set_dest is not None:
                 outgoing = packet.with_destination(action.set_dest)

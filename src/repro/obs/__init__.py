@@ -8,6 +8,12 @@ The layer every other component reports into (see ``docs/observability.md``):
   (requests, flow-mod batches, tree merges, federation exchanges);
 * :mod:`repro.obs.samplers` — periodic link-utilization and TCAM-occupancy
   probes driven by the simulator clock;
+* :mod:`repro.obs.flight` — the data-plane flight recorder: sampled
+  per-packet hop histories (sends, TCAM lookups, link transmissions,
+  host arrivals, drops) in a bounded ring buffer;
+* :mod:`repro.obs.paths` — path analytics over flight records: delivery
+  trees, per-component delay attribution, drop forensics, path stretch,
+  duplicate detection and Chrome trace-event export;
 * :mod:`repro.obs.export` — JSON/CSV exporters and the run-report renderer
   behind ``python -m repro report``;
 * :mod:`repro.obs.context` — the :class:`Observability` bundle a deployment
@@ -19,6 +25,18 @@ byte-identical documents regardless of ``PYTHONHASHSEED``.
 """
 
 from repro.obs.context import Observability, live_observabilities
+from repro.obs.flight import (
+    DROP_REASONS,
+    TRAVERSAL_POINTS,
+    FlightRecorder,
+    HopRecord,
+)
+from repro.obs.paths import (
+    DeliveryTrace,
+    FlightReport,
+    analyze_flight,
+    chrome_trace,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -40,4 +58,12 @@ __all__ = [
     "OCCUPANCY_BUCKETS",
     "Span",
     "Tracer",
+    "FlightRecorder",
+    "HopRecord",
+    "TRAVERSAL_POINTS",
+    "DROP_REASONS",
+    "DeliveryTrace",
+    "FlightReport",
+    "analyze_flight",
+    "chrome_trace",
 ]

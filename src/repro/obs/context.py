@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import weakref
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.samplers import (
     LinkUtilizationProbe,
@@ -43,6 +44,8 @@ class Observability:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = Tracer(clock=lambda: sim.now)
         self.samplers: list[PeriodicSampler] = []
+        self.flight: FlightRecorder | None = None
+        self._flight_network = None
         Observability._next_serial += 1
         self._serial = Observability._next_serial
         _live.add(self)
@@ -73,15 +76,66 @@ class Observability:
             sampler.stop()
 
     # ------------------------------------------------------------------
+    # data-plane flight recorder
+    # ------------------------------------------------------------------
+    def enable_flight(
+        self,
+        network,
+        sample_every: int = 1,
+        capacity: int = 65_536,
+        seed: int = 0,
+    ) -> FlightRecorder:
+        """Attach a data-plane flight recorder to every device of
+        ``network`` (idempotent: re-enabling replaces the recorder)."""
+        sim = self.sim
+        self.flight = FlightRecorder(
+            clock=lambda: sim.now,
+            sample_every=sample_every,
+            capacity=capacity,
+            seed=seed,
+        )
+        self._flight_network = network
+        network.attach_flight_recorder(self.flight)
+        return self.flight
+
+    def disable_flight(self) -> None:
+        """Detach the flight recorder (records are discarded)."""
+        if self._flight_network is not None:
+            self._flight_network.attach_flight_recorder(None)
+        self.flight = None
+        self._flight_network = None
+
+    def flight_report(self):
+        """Path analytics over the recorded hop histories."""
+        from repro.obs.paths import analyze_flight
+
+        if self.flight is None:
+            raise ValueError("no flight recorder enabled")
+        topology = (
+            self._flight_network.topology
+            if self._flight_network is not None
+            else None
+        )
+        return analyze_flight(self.flight, topology)
+
+    # ------------------------------------------------------------------
     # snapshotting
     # ------------------------------------------------------------------
     def snapshot(self, include_spans: bool = True) -> dict:
         """The full observability state as a JSON-compatible document."""
+        flight_summary = None
+        if self.flight is not None:
+            report = self.flight_report()
+            # summary gauges land in the registry before it is rendered
+            report.record_gauges(self.registry)
+            flight_summary = report.summary()
         document = {
             "sim_time_s": self.sim.now,
             "metrics": self.registry.snapshot(),
             "trace_summary": self.tracer.summary(),
         }
+        if flight_summary is not None:
+            document["flight"] = flight_summary
         if include_spans:
             document["spans"] = self.tracer.to_dicts()
         return document

@@ -121,6 +121,28 @@ def _rows(title: str, rows: list[tuple[str, str]], out: list[str]) -> None:
         out.append(f"{name.ljust(width)}  {value}")
 
 
+#: Counter-name prefixes that represent lost packets; the report surfaces
+#: them in a dedicated forensics section so a lossy run is obvious at a
+#: glance (they used to be buried in — or absent from — the counter dump).
+_DROP_COUNTER_PREFIXES = (
+    "switch.packets_dropped",
+    "host.packets_dropped",
+    "link.packets_lost_down",
+)
+
+
+def _drop_rows(counters: dict) -> list[tuple[str, str]]:
+    rows = [
+        (name, str(value))
+        for name, value in sorted(counters.items())
+        if value and name.startswith(_DROP_COUNTER_PREFIXES)
+    ]
+    if rows:
+        total = sum(int(v) for _, v in rows)
+        rows.append(("total packets lost", str(total)))
+    return rows
+
+
 def render_report(document: dict) -> str:
     """A terminal-friendly run summary of one exported snapshot."""
     out: list[str] = []
@@ -128,6 +150,7 @@ def render_report(document: dict) -> str:
     sim_time = document.get("sim_time_s")
     out.append("run summary" + (f" (sim time {sim_time:.6f} s)"
                                 if sim_time is not None else ""))
+    _rows("drops", _drop_rows(metrics.get("counters", {})), out)
     _rows(
         "counters",
         [(n, str(v)) for n, v in sorted(metrics.get("counters", {}).items())],
@@ -154,4 +177,22 @@ def render_report(document: dict) -> str:
         for name, entry in sorted(document.get("trace_summary", {}).items())
     ]
     _rows("control-plane trace", trace_rows, out)
+    flight = document.get("flight")
+    if flight:
+        flight_rows = [
+            ("deliveries", str(flight.get("deliveries", 0))),
+            ("duplicates", str(flight.get("duplicates", 0))),
+            ("drops", str(flight.get("drops", 0))),
+        ]
+        for reason, count in sorted(flight.get("drop_counts", {}).items()):
+            flight_rows.append((f"drops[{reason}]", str(count)))
+        for component, total in sorted(
+            flight.get("delay_attribution_s", {}).items()
+        ):
+            flight_rows.append((f"delay[{component}]", f"{total:.6g} s"))
+        if flight.get("mean_stretch") is not None:
+            flight_rows.append(
+                ("mean path stretch", f"{flight['mean_stretch']:.4g}")
+            )
+        _rows("data-plane flight recorder", flight_rows, out)
     return "\n".join(out) + "\n"

@@ -1,0 +1,426 @@
+"""Path analytics over flight-recorder hop histories.
+
+Turns the raw :class:`~repro.obs.flight.HopRecord` stream into first-class
+queryable facts:
+
+* **delivery trees** — for every sampled packet, the chain of nodes each
+  delivered copy traversed, reconstructed by walking ``link_tx`` records
+  backwards from the subscriber (loop-free trees visit a node at most
+  once, so node names key the walk);
+* **delay attribution** — each delivery's end-to-end delay split into
+  TCAM lookup vs. link serialization vs. link queueing vs. propagation
+  vs. host queue wait vs. host service time, with any residual reported
+  as ``unattributed_s`` instead of silently absorbed;
+* **drop forensics** — every recorded drop classified by exactly one
+  reason from :data:`~repro.obs.flight.DROP_REASONS`;
+* **path stretch** — actual hop count over the topology's shortest path
+  between publisher and subscriber (1.0 means shortest-path delivery);
+* **duplicate detection** — more than one application hand-off of the
+  same packet id at the same host.
+
+The report serialises deterministically (sorted keys, sim-time floats
+only) and can push summary gauges into a
+:class:`~repro.obs.registry.MetricsRegistry`; ``chrome_trace`` renders
+the records as Chrome trace-event JSON (load in ``chrome://tracing`` or
+Perfetto).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.flight import FlightRecorder, HopRecord
+
+__all__ = [
+    "DeliveryTrace",
+    "FlightReport",
+    "analyze_flight",
+    "chrome_trace",
+    "render_timeline",
+    "render_link_hotness",
+]
+
+#: Breakdown components, in reporting order.
+_COMPONENTS: tuple[str, ...] = (
+    "lookup_s",
+    "serialization_s",
+    "queueing_s",
+    "propagation_s",
+    "host_wait_s",
+    "host_service_s",
+)
+
+
+@dataclass
+class DeliveryTrace:
+    """One reconstructed delivery of one sampled packet."""
+
+    packet_id: int
+    host: str
+    publisher: str | None      # None when the send record was evicted
+    send_time: float | None
+    deliver_time: float
+    delay_s: float | None
+    path: list[str]            # publisher .. host, traversal order
+    hops: int                  # links traversed
+    shortest_hops: int | None  # None without a topology
+    stretch: float | None
+    breakdown: dict[str, float]
+    complete: bool             # chain reached a host_send record
+
+    def to_dict(self) -> dict:
+        return {
+            "packet_id": self.packet_id,
+            "host": self.host,
+            "publisher": self.publisher,
+            "send_time": self.send_time,
+            "deliver_time": self.deliver_time,
+            "delay_s": self.delay_s,
+            "path": list(self.path),
+            "hops": self.hops,
+            "shortest_hops": self.shortest_hops,
+            "stretch": self.stretch,
+            "breakdown": {k: self.breakdown[k] for k in sorted(self.breakdown)},
+            "complete": self.complete,
+        }
+
+
+@dataclass
+class FlightReport:
+    """Everything the analytics derive from one recorder's contents."""
+
+    deliveries: list[DeliveryTrace] = field(default_factory=list)
+    drops: list[dict] = field(default_factory=list)
+    drop_counts: dict[str, int] = field(default_factory=dict)
+    duplicates: list[dict] = field(default_factory=list)
+    link_hotness: dict[str, int] = field(default_factory=dict)
+    recorder_stats: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The compact digest embedded in observability snapshots."""
+        complete = [d for d in self.deliveries if d.delay_s is not None]
+        attribution = {
+            component: sum(d.breakdown.get(component, 0.0) for d in complete)
+            for component in _COMPONENTS
+        }
+        attribution["unattributed_s"] = sum(
+            d.breakdown.get("unattributed_s", 0.0) for d in complete
+        )
+        stretches = [d.stretch for d in self.deliveries if d.stretch is not None]
+        return {
+            "deliveries": len(self.deliveries),
+            "incomplete_deliveries": sum(
+                1 for d in self.deliveries if not d.complete
+            ),
+            "drops": sum(self.drop_counts.values()),
+            "drop_counts": {
+                k: self.drop_counts[k] for k in sorted(self.drop_counts)
+            },
+            "duplicates": len(self.duplicates),
+            "delay_attribution_s": {
+                k: attribution[k] for k in sorted(attribution)
+            },
+            "mean_stretch": (
+                sum(stretches) / len(stretches) if stretches else None
+            ),
+            "max_stretch": max(stretches) if stretches else None,
+            "recorder": dict(self.recorder_stats),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "deliveries": [d.to_dict() for d in self.deliveries],
+            "drops": list(self.drops),
+            "drop_counts": {
+                k: self.drop_counts[k] for k in sorted(self.drop_counts)
+            },
+            "duplicates": list(self.duplicates),
+            "link_hotness": {
+                k: self.link_hotness[k] for k in sorted(self.link_hotness)
+            },
+            "summary": self.summary(),
+        }
+
+    def record_gauges(self, registry) -> None:
+        """Publish the summary into a metrics registry (gauges only, so
+        repeated snapshots stay idempotent)."""
+        summary = self.summary()
+        registry.gauge("flight.deliveries").set(float(summary["deliveries"]))
+        registry.gauge("flight.duplicates").set(float(summary["duplicates"]))
+        registry.gauge("flight.drops").set(float(summary["drops"]))
+        for reason, count in summary["drop_counts"].items():
+            registry.gauge("flight.drops", reason=reason).set(float(count))
+        if summary["mean_stretch"] is not None:
+            registry.gauge("flight.mean_stretch").set(summary["mean_stretch"])
+        for component, total in summary["delay_attribution_s"].items():
+            registry.gauge(
+                "flight.delay_attribution_s", component=component
+            ).set(total)
+
+
+# ----------------------------------------------------------------------
+# reconstruction
+# ----------------------------------------------------------------------
+def _reconstruct_delivery(
+    deliver: HopRecord,
+    link_by_dst: dict[str, HopRecord],
+    switch_recv: dict[str, HopRecord],
+    host_recv: dict[str, HopRecord],
+    send: HopRecord | None,
+    topology,
+) -> DeliveryTrace:
+    host = deliver.node
+    breakdown: dict[str, float] = dict.fromkeys(_COMPONENTS, 0.0)
+    arrival = host_recv.get(host)
+    if arrival is not None:
+        breakdown["host_wait_s"] += arrival.detail.get("wait_s", 0.0)
+        breakdown["host_service_s"] += arrival.detail.get("service_s", 0.0)
+    path = [host]
+    hops = 0
+    cursor = host
+    # Walk back towards the publisher; trees are loop-free, so each node
+    # appears at most once and a seen-set guards corrupt histories.
+    seen = {host}
+    while True:
+        link = link_by_dst.get(cursor)
+        if link is None:
+            break
+        hops += 1
+        breakdown["serialization_s"] += link.detail.get("serialization_s", 0.0)
+        breakdown["queueing_s"] += link.detail.get("queueing_s", 0.0)
+        breakdown["propagation_s"] += link.detail.get("propagation_s", 0.0)
+        cursor = link.detail["src"]
+        if cursor in seen:  # corrupt/looping history: stop, mark incomplete
+            break
+        seen.add(cursor)
+        path.append(cursor)
+        lookup = switch_recv.get(cursor)
+        if lookup is not None:
+            breakdown["lookup_s"] += lookup.detail.get("lookup_s", 0.0)
+    path.reverse()
+    complete = send is not None and cursor == send.node
+    publisher = send.node if send is not None else None
+    send_time = send.t if send is not None else None
+    delay_s = deliver.t - send_time if complete and send_time is not None else None
+    if delay_s is not None:
+        breakdown["unattributed_s"] = delay_s - sum(
+            breakdown[c] for c in _COMPONENTS
+        )
+    shortest = None
+    stretch = None
+    if complete and topology is not None and publisher is not None:
+        shortest = len(topology.shortest_path(publisher, host)) - 1
+        if shortest > 0:
+            stretch = hops / shortest
+    return DeliveryTrace(
+        packet_id=deliver.packet_id,
+        host=host,
+        publisher=publisher,
+        send_time=send_time,
+        deliver_time=deliver.t,
+        delay_s=delay_s,
+        path=path,
+        hops=hops,
+        shortest_hops=shortest,
+        stretch=stretch,
+        breakdown=breakdown,
+        complete=complete,
+    )
+
+
+def analyze_flight(recorder: FlightRecorder, topology=None) -> FlightReport:
+    """Reconstruct deliveries, drops and link hotness from a recorder."""
+    report = FlightReport(recorder_stats=recorder.stats.to_dict())
+    for records in recorder.by_packet().values():
+        send: HopRecord | None = None
+        link_by_dst: dict[str, HopRecord] = {}
+        switch_recv: dict[str, HopRecord] = {}
+        host_recv: dict[str, HopRecord] = {}
+        delivers: list[HopRecord] = []
+        for record in records:
+            if record.drop is not None:
+                report.drops.append(
+                    {
+                        "packet_id": record.packet_id,
+                        "t": record.t,
+                        "node": record.node,
+                        "point": record.point,
+                        "reason": record.drop,
+                    }
+                )
+                report.drop_counts[record.drop] = (
+                    report.drop_counts.get(record.drop, 0) + 1
+                )
+                continue
+            if record.point == "host_send":
+                send = record
+            elif record.point == "link_tx":
+                dst = record.detail["dst"]
+                link_by_dst.setdefault(dst, record)
+                edge = f"{record.detail['src']}->{dst}"
+                report.link_hotness[edge] = (
+                    report.link_hotness.get(edge, 0) + 1
+                )
+            elif record.point == "switch_recv":
+                switch_recv.setdefault(record.node, record)
+            elif record.point == "host_recv":
+                host_recv.setdefault(record.node, record)
+            elif record.point == "host_deliver":
+                delivers.append(record)
+        per_host: dict[str, int] = {}
+        for deliver in delivers:
+            per_host[deliver.node] = per_host.get(deliver.node, 0) + 1
+            report.deliveries.append(
+                _reconstruct_delivery(
+                    deliver, link_by_dst, switch_recv, host_recv, send,
+                    topology,
+                )
+            )
+        for host, count in sorted(per_host.items()):
+            if count > 1:
+                report.duplicates.append(
+                    {
+                        "packet_id": delivers[0].packet_id,
+                        "host": host,
+                        "count": count,
+                    }
+                )
+    # deterministic ordering regardless of grouping order
+    report.deliveries.sort(key=lambda d: (d.deliver_time, d.packet_id, d.host))
+    report.drops.sort(key=lambda d: (d["t"], d["packet_id"], d["node"]))
+    report.duplicates.sort(key=lambda d: (d["packet_id"], d["host"]))
+    return report
+
+
+# ----------------------------------------------------------------------
+# renderers / exporters
+# ----------------------------------------------------------------------
+def render_timeline(records: list[HopRecord]) -> str:
+    """A terminal-friendly per-event timeline of one packet's hops."""
+    if not records:
+        return "(no records)"
+    t0 = records[0].t
+    lines = []
+    for record in records:
+        offset_us = (record.t - t0) * 1e6
+        if record.drop is not None:
+            what = f"DROP {record.drop}"
+        elif record.point == "switch_recv":
+            lookup = record.detail.get("lookup_s")
+            hit = record.detail.get("tcam_hit")
+            if record.detail.get("to_controller"):
+                what = "divert to controller"
+            elif hit:
+                what = f"tcam hit (lookup {lookup * 1e6:.2f} us)"
+            else:
+                what = "tcam lookup"
+        elif record.point == "link_tx":
+            what = (
+                f"-> {record.detail['dst']} "
+                f"(ser {record.detail['serialization_s'] * 1e6:.2f} us, "
+                f"queue {record.detail['queueing_s'] * 1e6:.2f} us, "
+                f"prop {record.detail['propagation_s'] * 1e6:.2f} us)"
+            )
+        elif record.point == "host_recv":
+            what = (
+                f"nic arrival (wait {record.detail['wait_s'] * 1e6:.2f} us)"
+            )
+        elif record.point == "host_deliver":
+            what = "delivered to application"
+        elif record.point == "host_send":
+            what = "published"
+        else:
+            what = record.point
+        lines.append(f"  {offset_us:10.2f} us  {record.node:<10} {what}")
+    return "\n".join(lines)
+
+
+def render_link_hotness(link_hotness: dict[str, int], top: int = 0) -> str:
+    """A per-directed-link packet-count table, hottest first."""
+    if not link_hotness:
+        return "(no link transmissions recorded)"
+    rows = sorted(link_hotness.items(), key=lambda kv: (-kv[1], kv[0]))
+    if top:
+        rows = rows[:top]
+    width = max(len(edge) for edge, _ in rows)
+    return "\n".join(
+        f"  {edge.ljust(width)}  {count}" for edge, count in rows
+    )
+
+
+def chrome_trace(recorder: FlightRecorder) -> dict:
+    """The hop records as a Chrome trace-event document.
+
+    One trace "thread" per network node (deterministic tid assignment by
+    sorted node name); durations are the recorded delay components, drops
+    are instant events in the ``drop`` category.  Times are microseconds
+    of sim time, as the trace-event format requires.
+    """
+    nodes = sorted({record.node for record in recorder.records})
+    tids = {node: i + 1 for i, node in enumerate(nodes)}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tids[node],
+            "name": "thread_name",
+            "args": {"name": node},
+        }
+        for node in nodes
+    ]
+    for record in recorder.records:
+        base = {
+            "pid": 1,
+            "tid": tids[record.node],
+            "ts": record.t * 1e6,
+            "args": {
+                "packet_id": record.packet_id,
+                **{k: record.detail[k] for k in sorted(record.detail)},
+            },
+        }
+        if record.drop is not None:
+            events.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": "t",
+                    "cat": "drop",
+                    "name": f"drop:{record.drop}",
+                }
+            )
+            continue
+        duration_s = 0.0
+        if record.point == "switch_recv":
+            duration_s = record.detail.get("lookup_s", 0.0)
+        elif record.point == "link_tx":
+            duration_s = (
+                record.detail.get("serialization_s", 0.0)
+                + record.detail.get("queueing_s", 0.0)
+                + record.detail.get("propagation_s", 0.0)
+            )
+        elif record.point == "host_recv":
+            duration_s = record.detail.get("wait_s", 0.0) + record.detail.get(
+                "service_s", 0.0
+            )
+        if duration_s > 0.0:
+            events.append(
+                {
+                    **base,
+                    "ph": "X",
+                    "cat": "flight",
+                    "name": record.point,
+                    "dur": duration_s * 1e6,
+                }
+            )
+        else:
+            events.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": "t",
+                    "cat": "flight",
+                    "name": record.point,
+                }
+            )
+    return {"displayTimeUnit": "ms", "traceEvents": events}

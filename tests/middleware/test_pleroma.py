@@ -220,3 +220,50 @@ class TestDimensionSelection:
         publisher.publish(Event.of(attr0=100, attr1=100, attr2=1))
         middleware.run()
         assert len(subscriber.matched) >= 1
+
+
+class TestFlightRecorder:
+    def test_enable_record_and_report(self):
+        middleware = Pleroma(line(4), dimensions=1, max_dz_length=10)
+        recorder = middleware.enable_flight_recorder()
+        publisher = middleware.publisher("h1")
+        delivered = []
+        middleware.subscriber(
+            "h4", callback=lambda e, t: delivered.append(e)
+        ).subscribe(Filter.of(attr0=FULL))
+        publisher.advertise(Filter.of(attr0=FULL))
+        publisher.publish(Event.of(attr0=600))
+        middleware.run()
+        assert len(delivered) == 1
+        assert len(recorder) > 0
+        report = middleware.flight_report()
+        data_deliveries = [
+            d for d in report.deliveries if d.host == "h4"
+        ]
+        assert len(data_deliveries) == 1
+        assert data_deliveries[0].complete
+
+    def test_snapshot_contains_flight_section(self):
+        middleware = Pleroma(line(4), dimensions=1, max_dz_length=10)
+        middleware.enable_flight_recorder()
+        publisher = middleware.publisher("h1")
+        middleware.subscriber("h4").subscribe(Filter.of(attr0=FULL))
+        publisher.advertise(Filter.of(attr0=FULL))
+        publisher.publish(Event.of(attr0=600))
+        middleware.run()
+        snapshot = middleware.obs_snapshot()
+        assert snapshot["flight"]["deliveries"] >= 1
+        assert "flight.deliveries" in snapshot["metrics"]["gauges"]
+
+    def test_disabled_by_default_and_detachable(self):
+        middleware = Pleroma(line(4), dimensions=1, max_dz_length=10)
+        assert "flight" not in middleware.obs_snapshot()
+        recorder = middleware.enable_flight_recorder()
+        middleware.disable_flight_recorder()
+        publisher = middleware.publisher("h1")
+        publisher.advertise(Filter.of(attr0=FULL))
+        publisher.publish(Event.of(attr0=600))
+        middleware.run()
+        assert len(recorder) == 0
+        with pytest.raises(ValueError):
+            middleware.flight_report()

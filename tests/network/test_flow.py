@@ -56,6 +56,22 @@ class TestFlowEntry:
         assert e2.priority == 9
         assert e2.match == e.match
 
+    def test_sorted_actions_is_deterministic(self):
+        """The forwarding path must not depend on frozenset iteration
+        order (salted per process via ``hash(None)`` on CPython < 3.12):
+        replication order at fan-out points is observable in flight
+        records and host arrival sequences."""
+        e = FlowEntry.for_dz(
+            Dz("1"),
+            {Action(7), Action(2, set_dest=99), Action(5), Action(2)},
+        )
+        expected = (
+            Action(2), Action(2, set_dest=99), Action(5), Action(7),
+        )
+        assert e.sorted_actions() == expected
+        # cached: repeated calls return the same tuple object
+        assert e.sorted_actions() is e.sorted_actions()
+
 
 class TestFlowTableInstall:
     def test_install_and_get(self):

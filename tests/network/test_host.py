@@ -117,3 +117,16 @@ class TestSendReceive:
         host.reset_counters()
         assert host.packets_arrived == 0
         assert host.packets_delivered == 0
+
+    def test_queue_overflow_drop_labelled_in_snapshot(self):
+        sim = Simulator()
+        host = Host(sim, "h", processing_rate_eps=100.0, queue_capacity=1)
+        # all at t=0: one in service, one queued, the rest overflow
+        for _ in range(4):
+            host.receive(Packet(dst_address=host.address, payload=None), 1)
+        sim.run()
+        assert host.packets_dropped == 2
+        counters = host.registry.snapshot()["counters"]
+        assert counters[
+            "host.packets_dropped{host=h,reason=queue-overflow}"
+        ] == 2

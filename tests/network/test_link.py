@@ -95,6 +95,34 @@ class TestAccounting:
         sim.run()
         assert len(b.received) == 1  # in-flight packet unaffected
 
+    def test_down_loss_counted_and_in_snapshot(self, rig):
+        sim, a, b, link = rig
+        link.fail()
+        link.transmit(a, packet())
+        link.transmit(b, packet())
+        sim.run()
+        assert link.packets_lost_down == 2
+        assert b.received == []
+        counters = link.registry.snapshot()["counters"]
+        assert counters["link.packets_lost_down{link=A<->B}"] == 2
+
+    def test_restore_stops_loss(self, rig):
+        sim, a, b, link = rig
+        link.fail()
+        link.transmit(a, packet())
+        link.restore()
+        link.transmit(a, packet())
+        sim.run()
+        assert link.packets_lost_down == 1
+        assert len(b.received) == 1
+
+    def test_reset_clears_down_loss(self, rig):
+        sim, a, b, link = rig
+        link.fail()
+        link.transmit(a, packet())
+        link.reset_counters()
+        assert link.packets_lost_down == 0
+
 
 class TestValidation:
     def test_invalid_parameters(self):

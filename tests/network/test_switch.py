@@ -7,7 +7,9 @@ from repro.core.dz import Dz
 from repro.exceptions import TopologyError
 from repro.network.fabric import Network, NetworkParams
 from repro.network.flow import Action, FlowEntry
+from repro.network.link import Link
 from repro.network.packet import Packet
+from repro.network.switch import Switch
 from repro.network.topology import line, star
 from repro.sim.engine import Simulator
 
@@ -122,3 +124,147 @@ class TestForwardingDetails:
         sim.run()
         assert original.dst_address == dz_to_address(Dz("1"))
         assert h2.packets_arrived == 1
+
+
+class TestDropReasonCounters:
+    """Drops are counted per reason (table miss vs. action with no link)."""
+
+    def test_table_miss_counted_separately(self, rig):
+        sim, net = rig
+        r1 = net.switches["R1"]
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("1")), payload=None)
+        )
+        sim.run()
+        assert r1.packets_dropped_table_miss == 1
+        assert r1.packets_dropped_no_link == 0
+        assert r1.packets_dropped == 1
+
+    def test_no_link_counted_separately(self, rig):
+        sim, net = rig
+        r1 = net.switches["R1"]
+        r1.table.install(FlowEntry.for_dz(Dz("1"), {Action(99)}))
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("1")), payload=None)
+        )
+        sim.run()
+        assert r1.packets_dropped_no_link == 1
+        assert r1.packets_dropped_table_miss == 0
+        assert r1.packets_dropped == 1
+
+    def test_reason_labels_in_registry_snapshot(self, rig):
+        sim, net = rig
+        r1 = net.switches["R1"]
+        r1.table.install(FlowEntry.for_dz(Dz("1"), {Action(99)}))
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("1")), payload=None)
+        )
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("0")), payload=None)
+        )
+        sim.run()
+        counters = net.registry.snapshot()["counters"]
+        assert counters[
+            "switch.packets_dropped{reason=no-link,switch=R1}"
+        ] == 1
+        assert counters[
+            "switch.packets_dropped{reason=table-miss,switch=R1}"
+        ] == 1
+
+    def test_reset_clears_both_reasons(self, rig):
+        sim, net = rig
+        r1 = net.switches["R1"]
+        r1.table.install(FlowEntry.for_dz(Dz("1"), {Action(99)}))
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("1")), payload=None)
+        )
+        net.hosts["h1"].send(
+            Packet(dst_address=dz_to_address(Dz("0")), payload=None)
+        )
+        sim.run()
+        assert r1.packets_dropped == 2
+        r1.reset_counters()
+        assert r1.packets_dropped_table_miss == 0
+        assert r1.packets_dropped_no_link == 0
+        assert r1.packets_dropped == 0
+
+
+class _Sink:
+    """A bare link endpoint that captures delivered packet objects."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.received: list[Packet] = []
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        self.received.append(packet)
+
+    def attach_link(self, port: int, link: Link) -> None:
+        pass
+
+
+class TestFanoutHopForking:
+    """The no-copy fast path reuses the incoming packet object for the
+    first no-rewrite action; the remaining actions must still get
+    *independent* copies, or one branch's hop count would leak into the
+    others."""
+
+    def _fanout_rig(self, actions):
+        sim = Simulator()
+        switch = Switch(sim, "S", lookup_jitter_s=0.0)
+        sinks = []
+        for port in range(1, len(actions) + 1):
+            sink = _Sink(f"sink{port}")
+            link = Link(sim, a=switch, a_port=port, b=sink, b_port=1,
+                        delay_s=0.0)
+            switch.attach_link(port, link)
+            sinks.append(sink)
+        switch.table.install(FlowEntry.for_dz(Dz(""), set(actions)))
+        return sim, switch, sinks
+
+    def test_each_copy_counts_its_own_hops(self):
+        sim, switch, sinks = self._fanout_rig(
+            [Action(1), Action(2), Action(3)]
+        )
+        packet = Packet(dst_address=dz_to_address(Dz("0")), payload=None)
+        switch.receive(packet, in_port=99)
+        sim.run()
+        delivered = [s.received[0] for s in sinks]
+        assert [p.hops for p in delivered] == [1, 1, 1]
+        # three independent objects, one of them the reused original
+        assert len({id(p) for p in delivered}) == 3
+        assert any(p is packet for p in delivered)
+
+    def test_fork_with_set_dest_branch(self):
+        sim, switch, sinks = self._fanout_rig(
+            [Action(1), Action(2), Action(3, set_dest=0xDEAD)]
+        )
+        packet = Packet(dst_address=dz_to_address(Dz("0")), payload=None)
+        switch.receive(packet, in_port=99)
+        sim.run()
+        by_sink = {s.name: s.received[0] for s in sinks}
+        assert all(p.hops == 1 for p in by_sink.values())
+        assert by_sink["sink3"].dst_address == 0xDEAD
+        assert by_sink["sink3"] is not packet
+        # the no-rewrite branches keep the multicast address
+        assert by_sink["sink1"].dst_address == dz_to_address(Dz("0"))
+        assert by_sink["sink2"].dst_address == dz_to_address(Dz("0"))
+        # identity (packet_id) survives forking on every branch
+        assert {p.packet_id for p in by_sink.values()} == {packet.packet_id}
+
+    def test_further_hops_stay_independent(self):
+        """After the fork, transmitting one copy again must not advance the
+        hop count of the sibling copies."""
+        sim, switch, sinks = self._fanout_rig([Action(1), Action(2)])
+        packet = Packet(dst_address=dz_to_address(Dz("0")), payload=None)
+        switch.receive(packet, in_port=99)
+        sim.run()
+        first, second = sinks[0].received[0], sinks[1].received[0]
+        # drive one copy over another hop by hand
+        far = _Sink("far")
+        onward = Link(sim, a=sinks[0], a_port=2, b=far, b_port=1,
+                      delay_s=0.0)
+        onward.transmit(sinks[0], first)
+        sim.run()
+        assert first.hops == 2
+        assert second.hops == 1

@@ -117,3 +117,32 @@ class TestHashSeedInvariance:
             return result.stdout
 
         assert run("0") == run("424242")
+
+
+class TestFlightTraceDeterminism:
+    """Same-seed ``trace`` runs export byte-identical documents — packet
+    ids are process-global, so this must compare fresh interpreters."""
+
+    def test_trace_exports_byte_identical(self, tmp_path):
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+
+        def run(tag: str, hash_seed: str) -> tuple[bytes, bytes]:
+            out = tmp_path / f"trace-{tag}.json"
+            chrome = tmp_path / f"chrome-{tag}.json"
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = src_dir
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "trace",
+                    "--events", "20", "--seed", "11", "--fail-link",
+                    "--out", str(out), "--chrome-out", str(chrome),
+                ],
+                capture_output=True,
+                env=env,
+                timeout=300,
+            )
+            assert result.returncode == 0, result.stderr.decode()
+            return out.read_bytes(), chrome.read_bytes()
+
+        assert run("a", "0") == run("b", "31337")

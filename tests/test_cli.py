@@ -228,3 +228,57 @@ class TestCheck:
         main(args)
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestTrace:
+    def test_trace_renders_all_sections(self, capsys):
+        assert main(["trace", "--events", "20", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace: 20 events" in out
+        assert "deliveries:" in out
+        assert "delay attribution" in out
+        assert "table-miss" in out
+        assert "per-link hotness" in out
+        assert "path stretch" in out
+
+    def test_trace_fail_link_adds_link_down(self, capsys):
+        assert main(
+            ["trace", "--events", "30", "--seed", "3", "--fail-link"]
+        ) == 0
+        assert "link-down" in capsys.readouterr().out
+
+    def test_trace_exports_valid_json(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        chrome_file = tmp_path / "chrome.json"
+        assert main(
+            ["trace", "--events", "10", "--out", str(out_file),
+             "--chrome-out", str(chrome_file)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(out_file.read_text())
+        assert document["workload"]["events"] == 10
+        assert document["report"]["summary"]["deliveries"] >= 1
+        assert document["records"]
+        chrome = json.loads(chrome_file.read_text())
+        assert chrome["traceEvents"]
+
+    def test_trace_sampling_reduces_records(self, capsys):
+        main(["trace", "--events", "40", "--sample-every", "1000000"])
+        out = capsys.readouterr().out
+        assert " 0 hop records" in out
+
+    def test_trace_deterministic_output(self, capsys):
+        """Within one process packet ids keep counting up between runs, so
+        compare everything but the raw ids (the cross-process byte-identity
+        check lives in tests/properties/test_determinism.py)."""
+        import re
+
+        args = ["trace", "--events", "25", "--seed", "7", "--limit", "2"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        mask = lambda s: re.sub(r"packet \d+", "packet N", s)  # noqa: E731
+        assert mask(first) == mask(second)
