@@ -29,6 +29,14 @@ Commands
     forensics and a per-link hotness table; ``--out`` exports the
     deterministic trace document, ``--chrome-out`` writes Chrome
     trace-event JSON (load in ``chrome://tracing`` / Perfetto).
+``chaos``
+    Run a seeded failure schedule (link cut, flap train, switch crash,
+    partition) against a deployment with the self-healing control plane
+    enabled (:mod:`repro.resilience`) and report the recovery SLOs:
+    detection latency, modeled repair latency, blackout packet loss and
+    post-repair verifier cleanliness.  ``--json`` emits a byte-stable
+    report, ``--out`` writes it to a file.  Exits nonzero if the final
+    verifier pass finds violations.
 """
 
 from __future__ import annotations
@@ -60,6 +68,10 @@ _TOPOLOGIES = {
     "ring": ring,
     "line": lambda: line(4),
 }
+
+# The chaos command accepts "fat-tree" as a friendlier alias; kept local so
+# "check --topology all" does not run the paper fat-tree twice.
+_CHAOS_TOPOLOGIES = {**_TOPOLOGIES, "fat-tree": paper_fat_tree}
 
 
 def _topology(name: str) -> Topology:
@@ -196,6 +208,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="export Chrome trace-event JSON for chrome://tracing",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded failure schedule and report recovery SLOs",
+    )
+    chaos.add_argument(
+        "--topology",
+        choices=sorted(_CHAOS_TOPOLOGIES),
+        default="fat-tree",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--probe-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="detector probe period (default 2 ms of sim time)",
+    )
+    chaos.add_argument(
+        "--miss-threshold",
+        type=int,
+        default=None,
+        help="consecutive missed probes before a link is declared down",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the SLO report as deterministic JSON instead of text",
+    )
+    chaos.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the SLO report JSON to PATH",
     )
     return parser
 
@@ -648,6 +695,98 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.resilience.chaos import ChaosRunner, ChaosSchedule
+    from repro.resilience.slo import build_slo_report
+
+    topology = _CHAOS_TOPOLOGIES[args.topology]()
+    middleware = Pleroma(topology, dimensions=2, max_dz_length=12)
+    middleware.enable_flight_recorder(seed=args.seed)
+    detector, orchestrator = middleware.enable_resilience(
+        probe_period_s=args.probe_period,
+        miss_threshold=args.miss_threshold,
+        seed=args.seed,
+    )
+    schedule = ChaosSchedule.generate(topology, seed=args.seed)
+
+    # steady full-space workload: one publisher, every other host listening,
+    # publishing twice per probe period so the delivery stream brackets every
+    # blackout tightly
+    hosts = sorted(middleware.topology.hosts())
+    publisher, listeners = hosts[0], hosts[1:]
+    middleware.publisher(publisher).advertise(Filter.of())
+    for host in listeners:
+        middleware.subscriber(host).subscribe(Filter.of())
+    interval = detector.period_s / 2.0
+    count = max(1, int(schedule.horizon / interval) - 2)
+    middleware.publish_stream(
+        publisher,
+        (Event.of(attr0=1.0, attr1=1.0) for _ in range(count)),
+        rate_eps=1.0 / interval,
+        start_at=0.0,
+    )
+
+    runner = ChaosRunner(middleware, schedule, detector, orchestrator)
+    runner.run()
+    report = middleware.flight_report()
+    slo = build_slo_report(middleware, schedule, detector, orchestrator, report)
+    if args.out is not None:
+        from repro.obs.export import write_json
+
+        write_json(slo, args.out)
+    if args.json:
+        print(json.dumps(slo, sort_keys=True))
+    else:
+        print(
+            f"chaos: {args.topology}, seed {args.seed}, "
+            f"{len(schedule.actions)} episode(s), "
+            f"horizon {schedule.horizon * 1e3:.0f} ms"
+        )
+        for episode in slo["episodes"]:
+            action = episode["action"]
+            detection = episode["detection"]["latency_s"]
+            repair = episode["repair"]
+            blackout = episode["blackout"]
+            detected = (
+                f"{detection * 1e3:.2f} ms" if detection is not None else "n/a"
+            )
+            gap = blackout["worst_gap_s"]
+            gap_text = f"{gap * 1e3:.2f} ms" if gap is not None else "n/a"
+            print(
+                f"  {action['kind']:<13} t={action['at'] * 1e3:.0f} ms: "
+                f"detected {detected}, "
+                f"{repair['passes']} repair(s) "
+                f"({repair['flow_mods']} flow mods, "
+                f"{repair['latency_s'] * 1e3:.2f} ms modeled), "
+                f"lost {blackout['packets_lost']}, "
+                f"worst gap {gap_text}, "
+                f"verifier {'ok' if repair['verifier_ok'] else 'DIRTY'}"
+                + (
+                    f" ({repair['transient_dirty_passes']} transient dirty"
+                    " pass(es))"
+                    if repair["transient_dirty_passes"]
+                    else ""
+                )
+            )
+        continuity = slo["continuity"]
+        final = slo["final"]
+        print(
+            f"continuity: {continuity['delivered']} deliveries of "
+            f"{continuity['published']} published"
+        )
+        print(
+            f"final: verifier {'ok' if final['verifier_ok'] else 'DIRTY'} "
+            f"({final['violations']} violation(s)), "
+            f"{final['repair_passes']} repair pass(es), "
+            f"{final['clients_suspended']} client(s) still suspended"
+        )
+        if args.out is not None:
+            print(f"slo report written: {args.out}")
+    return 0 if slo["final"]["verifier_ok"] else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "demo": _cmd_demo,
@@ -657,6 +796,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
 }
 
 

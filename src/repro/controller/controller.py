@@ -33,6 +33,7 @@ minimal, which is what the cases aim at.
 
 from __future__ import annotations
 
+import enum
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -61,6 +62,7 @@ from repro.obs.context import Observability
 __all__ = [
     "PleromaController",
     "RequestStats",
+    "RerouteOutcome",
     "summarize_requests",
     "AdvertisementState",
     "SubscriptionState",
@@ -72,6 +74,26 @@ __all__ = [
 DEFAULT_FLOW_MOD_LATENCY_S = 350e-6
 
 InstallMode = Literal["reconcile", "incremental"]
+
+
+class RerouteOutcome(enum.Enum):
+    """Why :meth:`PleromaController.reroute_tree_around_edge` did (not) act.
+
+    A bare ``False`` used to conflate "this tree never touched the edge"
+    with "the edge is a bridge, there is no spanning structure without it"
+    — but a caller reacting to a *failure* must distinguish them: the
+    first needs nothing, the second needs the degraded-tree fallback
+    (:mod:`repro.resilience.repair`).  Truthiness is preserved so existing
+    boolean callers (:class:`repro.controller.overload.OverloadManager`)
+    keep working unchanged.
+    """
+
+    REROUTED = "rerouted"
+    TREE_NOT_ON_EDGE = "tree-not-on-edge"
+    EDGE_IS_BRIDGE = "edge-is-bridge"
+
+    def __bool__(self) -> bool:
+        return self is RerouteOutcome.REROUTED
 
 
 @dataclass(frozen=True)
@@ -498,14 +520,20 @@ class PleromaController:
             self.trees.partition.discard(name)
             self._rebuild_trees(list(self.trees))
 
-    def reroute_tree_around_edge(self, tree_id: int, a: str, b: str) -> bool:
-        """Move one tree off a (hot) edge, if an alternative exists.
+    def reroute_tree_around_edge(
+        self, tree_id: int, a: str, b: str
+    ) -> RerouteOutcome:
+        """Move one tree off a (hot or dead) edge, if an alternative exists.
 
-        Returns True when the tree was re-deployed on a structure avoiding
-        the edge; False when the tree did not use the edge, or the
-        partition offers no spanning tree without it.  This is the
-        *reaction* half of overload handling (the paper's future work);
-        detection lives in :class:`repro.controller.overload.OverloadManager`.
+        Returns a :class:`RerouteOutcome` (truthy exactly when the tree was
+        re-deployed on a structure avoiding the edge): ``TREE_NOT_ON_EDGE``
+        when the tree never routed over it, ``EDGE_IS_BRIDGE`` when the
+        partition offers no spanning structure without the edge — the case
+        where a failure-driven caller must fall back to degraded partial
+        trees instead of leaving flows pointed at the dead edge.  This is
+        the *reaction* half of overload handling (the paper's future work);
+        detection lives in :class:`repro.controller.overload.OverloadManager`
+        and, for failures, :class:`repro.resilience.detector.FailureDetector`.
         """
         import networkx as nx
 
@@ -513,13 +541,13 @@ class PleromaController:
 
         tree = self.trees.get(tree_id)
         if not tree.uses_edge(a, b):
-            return False
+            return RerouteOutcome.TREE_NOT_ON_EDGE
         sg = self.topology.switch_graph(self.partition)
         if sg.has_edge(a, b):
             sg.remove_edge(a, b)
         dist = nx.single_source_shortest_path_length(sg, tree.root)
         if set(dist) != self.partition:
-            return False  # the edge is a bridge: nothing to reroute over
+            return RerouteOutcome.EDGE_IS_BRIDGE  # no spanning tree without it
         parents: dict[str, str] = {}
         for node, d in dist.items():
             if node == tree.root:
@@ -539,7 +567,7 @@ class PleromaController:
                 adv = self.advertisements.get(adv_id)
                 if adv is not None:
                     self._add_flow_mult_sub(tree, adv, member.overlap)
-        return True
+        return RerouteOutcome.REROUTED
 
     def _rebuild_trees(self, trees: list[SpanningTree]) -> None:
         """Recompute the structure of the given trees and re-deploy their

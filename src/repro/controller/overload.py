@@ -15,6 +15,13 @@ mechanism on top of the reproduction's primitives:
 
 Reactions are rate-limited per edge (one reroute per observation window)
 and logged so experiments can assert what happened.
+
+The reroute primitive returns a
+:class:`~repro.controller.controller.RerouteOutcome` (truthy only when a
+reroute deployed), so the log records *why* a reaction was declined.  The
+failure counterpart of this module is :mod:`repro.resilience`: overload
+shifts load within a healthy fabric, resilience repairs trees over a
+broken one — see ``docs/resilience.md``.
 """
 
 from __future__ import annotations

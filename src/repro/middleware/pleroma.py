@@ -18,6 +18,7 @@ code only touches this facade and the :class:`Publisher` /
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
 
 from repro.controller.controller import (
     AdvertisementState,
@@ -39,6 +40,10 @@ from repro.network.packet import EventPayload, Packet, event_packet_size
 from repro.network.topology import Topology, partition_switches
 from repro.obs.context import Observability
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.resilience.detector import FailureDetector
+    from repro.resilience.orchestrator import RecoveryOrchestrator
 
 __all__ = ["Pleroma"]
 
@@ -289,6 +294,46 @@ class Pleroma:
         for neighbor in self.topology.neighbors(name):
             self.network.link_between(name, neighbor).fail()
         owner.handle_switch_failure(name)
+
+    def enable_resilience(
+        self,
+        probe_period_s: float | None = None,
+        miss_threshold: int | None = None,
+        seed: int = 0,
+        verify: bool = True,
+    ) -> "tuple[FailureDetector, RecoveryOrchestrator]":
+        """Turn on the self-healing control plane (:mod:`repro.resilience`).
+
+        Starts a :class:`~repro.resilience.detector.FailureDetector` probing
+        every switch link and wires its verdicts into a
+        :class:`~repro.resilience.orchestrator.RecoveryOrchestrator` that
+        repairs the deployment without any oracle knowledge of the failure
+        site.  ``fail_link``/``fail_switch`` stay available as the oracle
+        alternative (instant repair, no detection latency) — don't combine
+        the two on the same failure or it will be repaired twice.
+
+        Single-controller deployments only: federated repair across
+        partition borders has no redundancy protocol (Sec. 7 future work).
+        """
+        from repro.resilience.detector import FailureDetector
+        from repro.resilience.orchestrator import RecoveryOrchestrator
+
+        if len(self.controllers) != 1:
+            raise ControllerError(
+                "resilience requires a single-partition deployment"
+            )
+        kwargs: dict = {"seed": seed}
+        if probe_period_s is not None:
+            kwargs["period_s"] = probe_period_s
+        if miss_threshold is not None:
+            kwargs["miss_threshold"] = miss_threshold
+        detector = FailureDetector(self.network, obs=self.obs, **kwargs)
+        orchestrator = RecoveryOrchestrator(
+            self.controllers[0], detector, obs=self.obs, verify=verify
+        )
+        detector.listeners.append(orchestrator.on_event)
+        detector.start()
+        return detector, orchestrator
 
     # ------------------------------------------------------------------
     # dimension selection (Sec. 5)

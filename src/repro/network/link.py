@@ -73,15 +73,30 @@ class Link:
         self.b, self.b_port = b, b_port
         self.delay_s = delay_s
         self.bandwidth_bps = bandwidth_bps
-        self.up = True
+        # Administrative status (operator/chaos intent: fail()/restore())
+        # and operational status (carrier: an endpoint device died) are
+        # tracked separately, the way real switch ports report them.  The
+        # link carries traffic only when both are up.
+        self._admin_up = True
+        self._oper_up = True
         self._flight: FlightRecorder | None = None
         self.registry = registry if registry is not None else MetricsRegistry()
         label = f"{a.name}<->{b.name}"
+        self.label = label
         # Registry-backed so down-loss shows up in snapshots, the report
         # CLI and every exporter — it used to be a plain attribute that no
         # observability surface could see.
         self._lost_down = self.registry.counter(
             "link.packets_lost_down", link=label
+        )
+        # Status gauges: fail()/restore() used to be silent bit flips that
+        # no observability surface (or failure detector) could see.
+        self._g_admin = self.registry.gauge("link.admin_up", link=label)
+        self._g_oper = self.registry.gauge("link.oper_up", link=label)
+        self._g_admin.set(1.0)
+        self._g_oper.set(1.0)
+        self._status_changes = self.registry.counter(
+            "link.status_changes", link=label
         )
         self._dir_ab = _Direction(
             packets=self.registry.counter(
@@ -101,13 +116,58 @@ class Link:
         )
 
     # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """True iff the link carries traffic (admin up AND oper up)."""
+        return self._admin_up and self._oper_up
+
+    @property
+    def admin_up(self) -> bool:
+        return self._admin_up
+
+    @property
+    def oper_up(self) -> bool:
+        return self._oper_up
+
     def fail(self) -> None:
-        """Take the link down: subsequent transmissions are lost."""
-        self.up = False
+        """Administratively take the link down: transmissions are lost.
+
+        Idempotent; the transition is visible as the ``link.admin_up``
+        gauge dropping to 0 and a ``link.status_changes`` increment."""
+        if not self._admin_up:
+            return
+        self._admin_up = False
+        self._g_admin.set(0.0)
+        self._status_changes.inc()
 
     def restore(self) -> None:
-        """Bring the link back up."""
-        self.up = True
+        """Administratively bring the link back up.
+
+        Idempotent.  Scheduling state is reset: transmissions queued
+        behind the pre-failure busy horizon died with the failure, so a
+        restored link starts with empty output queues instead of delaying
+        new traffic behind ghosts of the old."""
+        if self._admin_up:
+            return
+        self._admin_up = True
+        self._g_admin.set(1.0)
+        self._status_changes.inc()
+        self._dir_ab.busy_until = 0.0
+        self._dir_ba.busy_until = 0.0
+
+    def set_oper(self, up: bool) -> None:
+        """Set operational (carrier) status — driven by endpoint device
+        death/revival, not by operator intent.  Idempotent."""
+        if self._oper_up == up:
+            return
+        self._oper_up = up
+        self._g_oper.set(1.0 if up else 0.0)
+        self._status_changes.inc()
+        if up:
+            self._dir_ab.busy_until = 0.0
+            self._dir_ba.busy_until = 0.0
 
     def set_flight_recorder(self, recorder: FlightRecorder | None) -> None:
         """Attach (or detach, with ``None``) the data-plane flight

@@ -73,6 +73,9 @@ class Switch:
         )
         self._ports: dict[int, Link] = {}
         self._control_handler: ControlHandler | None = None
+        # Liveness: a crashed switch loses its (volatile) TCAM contents and
+        # silently eats any packet still arriving on its ports.
+        self.up = True
         # data-plane flight recorder (attached per deployment; None = off)
         self._flight: FlightRecorder | None = None
         # statistics
@@ -92,9 +95,14 @@ class Switch:
         self._dropped_no_link = self.registry.counter(
             "switch.packets_dropped", reason="no-link", switch=name
         )
+        self._dropped_switch_down = self.registry.counter(
+            "switch.packets_dropped", reason="switch-down", switch=name
+        )
         self._to_controller = self.registry.counter(
             "switch.packets_to_controller", switch=name
         )
+        self._g_up = self.registry.gauge("switch.up", switch=name)
+        self._g_up.set(1.0)
 
     # ------------------------------------------------------------------
     # statistics (registry-backed)
@@ -109,7 +117,11 @@ class Switch:
 
     @property
     def packets_dropped(self) -> int:
-        return self._dropped_table_miss.value + self._dropped_no_link.value
+        return (
+            self._dropped_table_miss.value
+            + self._dropped_no_link.value
+            + self._dropped_switch_down.value
+        )
 
     @property
     def packets_dropped_table_miss(self) -> int:
@@ -126,9 +138,32 @@ class Switch:
     def reset_counters(self) -> None:
         for counter in (
             self._received, self._forwarded, self._dropped_table_miss,
-            self._dropped_no_link, self._to_controller,
+            self._dropped_no_link, self._dropped_switch_down,
+            self._to_controller,
         ):
             counter.reset()
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the switch: the TCAM is volatile, so its contents are
+        lost; arriving packets are dropped until :meth:`restore`.
+        Idempotent."""
+        if not self.up:
+            return
+        self.up = False
+        self._g_up.set(0.0)
+        self.table.clear()
+
+    def restore(self) -> None:
+        """Revive a crashed switch.  It comes back with a *cold* (empty)
+        flow table — re-populating it is the control plane's job, which is
+        exactly what the resilience orchestrator's repair pass does."""
+        if self.up:
+            return
+        self.up = True
+        self._g_up.set(1.0)
 
     # ------------------------------------------------------------------
     # wiring
@@ -171,6 +206,15 @@ class Switch:
         flight = self._flight
         if flight is not None and not flight.wants(packet.packet_id):
             flight = None
+        if not self.up:
+            # A crashed switch eats everything, control traffic included.
+            self._dropped_switch_down.inc()
+            if flight is not None:
+                flight.add(
+                    packet.packet_id, "switch_recv", self.name,
+                    drop="switch-down", in_port=in_port,
+                )
+            return
         if packet.dst_address == PUBSUB_CONTROL_ADDRESS:
             self._to_controller.inc()
             if flight is not None:

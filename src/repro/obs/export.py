@@ -131,6 +131,29 @@ _DROP_COUNTER_PREFIXES = (
 )
 
 
+#: Status gauges rendered in the drops/forensics block: a down link or
+#: switch is the usual root cause of the losses listed right above it.
+_STATUS_GAUGE_PREFIXES = (
+    ("link.admin_up{link=", "link", "admin down"),
+    ("link.oper_up{link=", "link", "oper down"),
+    ("switch.up{switch=", "switch", "down"),
+)
+
+
+def _status_rows(gauges: dict) -> list[tuple[str, str]]:
+    """Rows for every link/switch whose status gauge reads down (0)."""
+    rows = []
+    for name, value in sorted(gauges.items()):
+        if value:
+            continue
+        for prefix, kind, status in _STATUS_GAUGE_PREFIXES:
+            if name.startswith(prefix):
+                subject = name[len(prefix):-1]  # strip trailing '}'
+                rows.append((f"{kind} {subject}", status))
+                break
+    return rows
+
+
 def _drop_rows(counters: dict) -> list[tuple[str, str]]:
     rows = [
         (name, str(value))
@@ -150,6 +173,7 @@ def render_report(document: dict) -> str:
     sim_time = document.get("sim_time_s")
     out.append("run summary" + (f" (sim time {sim_time:.6f} s)"
                                 if sim_time is not None else ""))
+    _rows("down devices", _status_rows(metrics.get("gauges", {})), out)
     _rows("drops", _drop_rows(metrics.get("counters", {})), out)
     _rows(
         "counters",

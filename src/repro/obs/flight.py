@@ -55,6 +55,7 @@ DROP_REASONS: tuple[str, ...] = (
     "table-miss",           # no flow matched at a switch
     "no-link",              # matched action's output port has no link
     "link-down",            # transmitted into a failed link
+    "switch-down",          # arrived at a crashed switch
     "host-queue-overflow",  # subscriber ingest queue was full
     "ingress-bounce",       # action would forward back out the ingress port
 )

@@ -35,6 +35,7 @@ __all__ = [
     "DeliveryTrace",
     "FlightReport",
     "analyze_flight",
+    "blackout_windows",
     "chrome_trace",
     "render_timeline",
     "render_link_hotness",
@@ -291,6 +292,47 @@ def analyze_flight(recorder: FlightRecorder, topology=None) -> FlightReport:
     report.drops.sort(key=lambda d: (d["t"], d["packet_id"], d["node"]))
     report.duplicates.sort(key=lambda d: (d["packet_id"], d["host"]))
     return report
+
+
+# ----------------------------------------------------------------------
+# blackout measurement
+# ----------------------------------------------------------------------
+def blackout_windows(
+    report: FlightReport,
+    window: tuple[float, float] | None = None,
+) -> dict[str, dict]:
+    """Per-host outage windows, measured purely from delivery gaps.
+
+    For each subscriber host that received at least two deliveries, find
+    the largest gap between consecutive deliveries — optionally restricted
+    to gaps overlapping ``window`` (an injected failure interval).  Under a
+    steady publish rate the largest gap brackets the blackout: its start is
+    the last delivery before the failure bit, its end the first delivery
+    after repair took effect.  This is the *measured* counterpart of a
+    chaos schedule's injected interval; the recovery SLOs compare the two.
+
+    Returns ``{host: {"start": t, "end": t, "gap_s": dt}}`` with hosts in
+    sorted order (deterministic serialisation).
+    """
+    per_host: dict[str, list[float]] = {}
+    for delivery in report.deliveries:
+        per_host.setdefault(delivery.host, []).append(delivery.deliver_time)
+    out: dict[str, dict] = {}
+    for host in sorted(per_host):
+        times = sorted(per_host[host])
+        best: tuple[float, float] | None = None
+        for t0, t1 in zip(times, times[1:]):
+            if window is not None and (t1 <= window[0] or t0 >= window[1]):
+                continue
+            if best is None or (t1 - t0) > (best[1] - best[0]):
+                best = (t0, t1)
+        if best is not None:
+            out[host] = {
+                "start": best[0],
+                "end": best[1],
+                "gap_s": best[1] - best[0],
+            }
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Self-healing control plane: detect → plan → repair → verify.
+
+The paper's conclusion asks for "mechanisms to detect and react" to
+dynamic network conditions; :mod:`repro.controller.overload` covers the
+overload case, this package covers *failures*:
+
+* :mod:`repro.resilience.detector` — a deterministic LLDP-style echo
+  prober that turns data-plane link/switch death into ``PortDown`` /
+  ``SwitchDown`` events after a configurable miss threshold.  Detection
+  latency is a measured quantity of the probing schedule, never an oracle
+  callback from the failure injection site.
+* :mod:`repro.resilience.repair` — the :class:`RepairPlanner`: given the
+  surviving switch graph, decide which trees to rebuild (and around what
+  roots), and which clients must be suspended because a partition split
+  cut them off.
+* :mod:`repro.resilience.orchestrator` — the
+  :class:`RecoveryOrchestrator` executes plans against a controller: it
+  suspends/resumes clients, swaps tree structures, re-derives the desired
+  flow state through the existing ledger/reconciler machinery, applies the
+  minimal diff and proves the result with the :mod:`repro.analysis` static
+  verifier.
+* :mod:`repro.resilience.chaos` — a seeded :class:`ChaosSchedule` of link
+  cuts, flap trains, switch crash/revive and partition cut/heal, plus the
+  runner wiring it to a deployment.
+* :mod:`repro.resilience.slo` — recovery SLO computation: detection
+  latency, repair latency, blackout window, packets lost during blackout
+  and delivery continuity, exported deterministically.
+"""
+
+from repro.resilience.chaos import ChaosAction, ChaosRunner, ChaosSchedule
+from repro.resilience.detector import FailureDetector, FailureEvent
+from repro.resilience.orchestrator import RecoveryOrchestrator, RepairRecord
+from repro.resilience.repair import RepairPlan, RepairPlanner, TreeRepair
+from repro.resilience.slo import build_slo_report
+
+__all__ = [
+    "ChaosAction",
+    "ChaosRunner",
+    "ChaosSchedule",
+    "FailureDetector",
+    "FailureEvent",
+    "RecoveryOrchestrator",
+    "RepairRecord",
+    "RepairPlan",
+    "RepairPlanner",
+    "TreeRepair",
+    "build_slo_report",
+]

@@ -1,0 +1,258 @@
+"""Seeded chaos scenarios: link cuts, flap trains, crashes, partitions.
+
+A :class:`ChaosSchedule` is a deterministic list of failure injections
+drawn from a ``random.Random(seed)`` over the *sorted* element lists of a
+topology, so the same seed yields the same schedule on every run and
+platform.  The :class:`ChaosRunner` arms the schedule against a deployed
+:class:`~repro.middleware.pleroma.Pleroma`: injections touch **only the
+data plane** (``Link.fail``/``restore``, ``Switch.fail``/``restore``,
+carrier loss via ``Link.set_oper``) — the control plane must notice through
+the :class:`~repro.resilience.detector.FailureDetector`'s probes, which is
+the whole point of measuring recovery rather than assuming it.
+
+Scenario kinds:
+
+* ``link-cut`` — one switch link down for a sustained window, then healed;
+* ``link-flap`` — a train of short down/up pulses on one link, sized near
+  the detector's miss budget so the detection machinery is exercised at
+  its boundary;
+* ``switch-crash`` — a whole switch dies (TCAM volatile: its flow table is
+  lost) and every attached link loses carrier; later it revives cold;
+* ``partition`` — every switch link of a victim switch is cut at once,
+  splitting the fabric; the degraded-mode repair must keep the primary
+  component in service and resume the rest on heal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import TopologyError
+from repro.network.topology import Topology
+from repro.resilience.detector import FailureDetector
+from repro.resilience.orchestrator import RecoveryOrchestrator
+
+__all__ = ["ChaosAction", "ChaosSchedule", "ChaosRunner", "CHAOS_KINDS"]
+
+CHAOS_KINDS = ("link-cut", "link-flap", "switch-crash", "partition")
+
+#: Flap pulse geometry: the down pulse (8 ms) is exactly at the edge of a
+#: 2 ms-probe / 3-miss detection budget, the up pulse (10 ms) long enough
+#: for the recovering echo to land before the next pulse.
+FLAP_DOWN_S = 8e-3
+FLAP_UP_S = 10e-3
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One injected failure episode with its heal time."""
+
+    kind: str                           # one of CHAOS_KINDS
+    at: float                           # sim time of the first injection
+    heal_at: float                      # sim time the element(s) come back
+    edges: tuple[tuple[str, str], ...] = ()   # affected switch links
+    switch: str | None = None           # victim (crash / partition)
+    flaps: int = 0                      # down pulses (link-flap only)
+    flap_down_s: float = FLAP_DOWN_S
+    flap_up_s: float = FLAP_UP_S
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "heal_at": self.heal_at,
+            "edges": [list(edge) for edge in self.edges],
+            "switch": self.switch,
+            "flaps": self.flaps,
+        }
+
+
+@dataclass
+class ChaosSchedule:
+    """A deterministic sequence of :class:`ChaosAction` episodes."""
+
+    actions: list[ChaosAction] = field(default_factory=list)
+    horizon: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        seed: int = 0,
+        kinds: tuple[str, ...] = CHAOS_KINDS,
+        start_at: float = 0.02,
+        spacing: float = 0.06,
+        heal_after: float = 0.02,
+        margin: float = 0.04,
+    ) -> "ChaosSchedule":
+        """Draw one episode per requested kind over sorted element lists.
+
+        Episodes are spaced so each one's detect/repair/heal cycle has
+        settled (and steady traffic resumed) before the next begins;
+        ``horizon`` leaves ``margin`` after the last heal for the final
+        recovery to be observed.
+        """
+        for kind in kinds:
+            if kind not in CHAOS_KINDS:
+                raise TopologyError(f"unknown chaos kind {kind!r}")
+        edges = sorted(
+            tuple(sorted((spec.a, spec.b)))
+            for spec in topology.links()
+            if topology.is_switch(spec.a) and topology.is_switch(spec.b)
+        )
+        if not edges:
+            raise TopologyError(
+                "chaos needs at least one switch-to-switch link"
+            )
+        switches = sorted(topology.switches())
+        hostless = [
+            s
+            for s in switches
+            if not any(topology.is_host(n) for n in topology.neighbors(s))
+        ]
+        rng = random.Random(seed)
+        actions: list[ChaosAction] = []
+        at = start_at
+        for kind in kinds:
+            if kind == "link-cut":
+                edge = edges[rng.randrange(len(edges))]
+                actions.append(
+                    ChaosAction(
+                        kind, at, at + heal_after, edges=(edge,)
+                    )
+                )
+            elif kind == "link-flap":
+                edge = edges[rng.randrange(len(edges))]
+                flaps = 2
+                heal_at = (
+                    at + (flaps - 1) * (FLAP_DOWN_S + FLAP_UP_S) + FLAP_DOWN_S
+                )
+                actions.append(
+                    ChaosAction(
+                        kind, at, heal_at, edges=(edge,), flaps=flaps
+                    )
+                )
+            elif kind == "switch-crash":
+                pool = hostless if hostless else switches
+                victim = pool[rng.randrange(len(pool))]
+                touched = tuple(e for e in edges if victim in e)
+                actions.append(
+                    ChaosAction(
+                        kind,
+                        at,
+                        at + heal_after,
+                        edges=touched,
+                        switch=victim,
+                    )
+                )
+            elif kind == "partition":
+                victim = switches[rng.randrange(len(switches))]
+                touched = tuple(e for e in edges if victim in e)
+                actions.append(
+                    ChaosAction(
+                        kind,
+                        at,
+                        at + heal_after,
+                        edges=touched,
+                        switch=victim,
+                    )
+                )
+            at += spacing
+        horizon = max(a.heal_at for a in actions) + margin
+        return cls(actions=actions, horizon=horizon, seed=seed)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "actions": [a.to_dict() for a in self.actions],
+        }
+
+
+class ChaosRunner:
+    """Arms a schedule against a deployment and runs it to completion."""
+
+    def __init__(
+        self,
+        middleware,
+        schedule: ChaosSchedule,
+        detector: FailureDetector,
+        orchestrator: RecoveryOrchestrator,
+    ) -> None:
+        self.middleware = middleware
+        self.schedule = schedule
+        self.detector = detector
+        self.orchestrator = orchestrator
+        self.sim = middleware.sim
+        self.network = middleware.network
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every injection; idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        for action in self.schedule.actions:
+            if action.kind == "link-cut" or action.kind == "partition":
+                for edge in action.edges:
+                    self.sim.schedule_at(action.at, self._cut_link, edge)
+                    self.sim.schedule_at(
+                        action.heal_at, self._heal_link, edge
+                    )
+            elif action.kind == "link-flap":
+                (edge,) = action.edges
+                pulse = action.flap_down_s + action.flap_up_s
+                for i in range(action.flaps):
+                    down_at = action.at + i * pulse
+                    self.sim.schedule_at(down_at, self._cut_link, edge)
+                    self.sim.schedule_at(
+                        down_at + action.flap_down_s, self._heal_link, edge
+                    )
+            elif action.kind == "switch-crash":
+                self.sim.schedule_at(
+                    action.at, self._crash_switch, action.switch
+                )
+                self.sim.schedule_at(
+                    action.heal_at, self._revive_switch, action.switch
+                )
+
+    def run(self) -> None:
+        """Run the armed schedule: horizon, stop probing, drain in-flight."""
+        self.arm()
+        self.sim.run(until=self.schedule.horizon)
+        self.detector.stop()
+        self.sim.run()
+
+    # ------------------------------------------------------------------
+    # injections (data plane only — no oracle callbacks)
+    # ------------------------------------------------------------------
+    def _cut_link(self, edge: tuple[str, str]) -> None:
+        self.network.link_between(*edge).fail()
+
+    def _heal_link(self, edge: tuple[str, str]) -> None:
+        self.network.link_between(*edge).restore()
+
+    def _crash_switch(self, name: str) -> None:
+        self.network.switches[name].fail()
+        # Every attached link (host links included) loses carrier.  The
+        # physical fabric is authoritative here — the planning topology may
+        # already lack edges the orchestrator removed on detection.
+        for link in self._attached_links(name):
+            link.set_oper(False)
+
+    def _revive_switch(self, name: str) -> None:
+        self.network.switches[name].restore()
+        for link in self._attached_links(name):
+            link.set_oper(True)
+
+    def _attached_links(self, name: str):
+        return [
+            link
+            for key, link in sorted(
+                self.network.links.items(), key=lambda kv: sorted(kv[0])
+            )
+            if name in key
+        ]

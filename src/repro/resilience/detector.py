@@ -1,0 +1,286 @@
+"""Failure detection: seeded sim-time echo probes over switch links.
+
+The :class:`FailureDetector` monitors every switch-to-switch link of a
+fabric the way LLDP/BFD keepalives do: each link is probed once per
+``period_s`` of simulated time, the probe's echo travels the link's real
+round trip (twice propagation plus a small processing cost), and a link
+whose probes go unanswered ``miss_threshold`` times in a row is declared
+down.  The first echo heard after that declares it up again.
+
+Two properties matter more than realism of the wire format:
+
+* **no oracle** — the detector never learns of a failure from the
+  injection site.  ``Link.fail()`` flips data-plane state; the detector
+  finds out because echoes stop arriving, so *detection latency is a
+  measured quantity* (phase of the probe schedule + miss budget), exactly
+  what the recovery SLOs report.
+* **determinism** — probe phases are drawn per link (in sorted key order)
+  from a ``random.Random(seed)``, all scheduling goes through the
+  simulator, and event history is recorded in fire order.  Identical
+  seeds give byte-identical event streams across processes.
+
+Switch death has no probe of its own: a switch is declared down when every
+monitored link touching it is down (indistinguishable, from the control
+plane, from the switch being unreachable — which needs the same repair).
+
+Events fan out to registered listeners (the
+:class:`~repro.resilience.orchestrator.RecoveryOrchestrator`), to
+``repro.obs`` trace events and to registry counters/gauges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.exceptions import TopologyError
+from repro.network.fabric import Network
+from repro.obs.context import Observability
+
+__all__ = [
+    "FailureDetector",
+    "FailureEvent",
+    "DEFAULT_PROBE_PERIOD_S",
+    "DEFAULT_MISS_THRESHOLD",
+    "PROBE_PROCESSING_S",
+]
+
+#: One probe per link every 2 ms of sim time — fast-BFD territory, sized
+#: so recovery completes within the paper's ~ms reconfiguration regime.
+DEFAULT_PROBE_PERIOD_S = 2e-3
+#: Consecutive unanswered probes before a link is declared down.  Three
+#: misses tolerates a probe lost to a transient (e.g. a flap shorter than
+#: one period) without flapping the control plane.
+DEFAULT_MISS_THRESHOLD = 3
+#: Per-end probe processing cost added to the echo round trip.
+PROBE_PROCESSING_S = 10e-6
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One detector verdict, stamped with the sim time it was reached."""
+
+    kind: str                  # "port-down" | "port-up" | "switch-down" | "switch-up"
+    subject: tuple[str, ...]   # (a, b) sorted for links, (name,) for switches
+    time: float
+    misses: int = 0            # consecutive misses behind a down verdict
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "subject": list(self.subject),
+            "time": self.time,
+            "misses": self.misses,
+        }
+
+
+class _LinkProbeState:
+    """Detector-side view of one monitored link."""
+
+    __slots__ = ("seq", "awaiting", "misses", "view_up", "handle")
+
+    def __init__(self) -> None:
+        self.seq = 0
+        self.awaiting = False   # last probe sent, echo not yet heard
+        self.misses = 0
+        self.view_up = True
+        self.handle = None      # pending probe-tick ScheduledEvent
+
+
+class FailureDetector:
+    """Probes switch-to-switch links; emits Port/Switch up/down events."""
+
+    def __init__(
+        self,
+        network: Network,
+        obs: Observability | None = None,
+        period_s: float = DEFAULT_PROBE_PERIOD_S,
+        miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+        seed: int = 0,
+    ) -> None:
+        if period_s <= 0:
+            raise TopologyError("probe period must be positive")
+        if miss_threshold < 1:
+            raise TopologyError("miss threshold must be >= 1")
+        self.network = network
+        self.sim = network.sim
+        self.obs = obs if obs is not None else Observability(network.sim)
+        self.period_s = period_s
+        self.miss_threshold = miss_threshold
+        self.seed = seed
+        topology = network.topology
+        #: Monitored links, in deterministic sorted order of (a, b) names.
+        self.monitored: list[tuple[str, str]] = sorted(
+            tuple(sorted((spec.a, spec.b)))
+            for spec in topology.links()
+            if topology.is_switch(spec.a) and topology.is_switch(spec.b)
+        )
+        rng = random.Random(seed)
+        #: Per-link probe phase: staggered so a fabric-wide tick does not
+        #: synchronise every probe into one sim instant (and so detection
+        #: latencies vary per link the way real schedules do).
+        self._phase = {
+            key: rng.uniform(0.0, period_s) for key in self.monitored
+        }
+        self._state = {key: _LinkProbeState() for key in self.monitored}
+        self._switch_view_down: set[str] = set()
+        self._running = False
+        self.events: list[FailureEvent] = []
+        self.listeners: list[Callable[[FailureEvent], None]] = []
+        registry = self.obs.registry
+        self._c_probes = registry.counter("resilience.probes_sent")
+        self._c_echoes = registry.counter("resilience.echoes_received")
+        self._c_events = {
+            kind: registry.counter("resilience.events", kind=kind)
+            for kind in ("port-down", "port-up", "switch-down", "switch-up")
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FailureDetector":
+        """Begin probing.  Each link's first probe fires at its phase
+        offset; ticks then self-reschedule every period."""
+        if self._running:
+            return self
+        self._running = True
+        for key in self.monitored:
+            state = self._state[key]
+            state.handle = self.sim.schedule(
+                self._phase[key], self._probe, key
+            )
+        return self
+
+    def stop(self) -> None:
+        """Cancel all pending probe ticks so the simulator can drain."""
+        self._running = False
+        for state in self._state.values():
+            if state.handle is not None:
+                state.handle.cancel()
+                state.handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def link_view_up(self, a: str, b: str) -> bool:
+        """The detector's current belief about a link (not ground truth)."""
+        return self._state[tuple(sorted((a, b)))].view_up
+
+    def down_edges(self) -> list[tuple[str, str]]:
+        """Every link currently believed down, in sorted order."""
+        return [key for key in self.monitored if not self._state[key].view_up]
+
+    def down_switches(self) -> list[str]:
+        """Every switch currently believed down, in sorted order."""
+        return sorted(self._switch_view_down)
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def _probe(self, key: tuple[str, str]) -> None:
+        if not self._running:
+            return
+        state = self._state[key]
+        if state.awaiting:
+            # previous probe went unanswered
+            state.misses += 1
+            if state.view_up and state.misses >= self.miss_threshold:
+                self._mark_link(key, up=False, misses=state.misses)
+        state.seq += 1
+        state.awaiting = True
+        self._c_probes.inc()
+        link = self.network.link_between(*key)
+        a, b = key
+        endpoints_alive = (
+            self.network.switches[a].up and self.network.switches[b].up
+        )
+        if link.up and endpoints_alive:
+            # The probe traverses the physical medium: it only comes back
+            # if the link (and both ends) are still alive *on arrival* too.
+            rtt = 2.0 * (link.delay_s + PROBE_PROCESSING_S)
+            self.sim.schedule(rtt, self._echo, key, state.seq)
+        state.handle = self.sim.schedule(self.period_s, self._probe, key)
+
+    def _echo(self, key: tuple[str, str], seq: int) -> None:
+        if not self._running:
+            return
+        state = self._state[key]
+        if seq != state.seq:
+            return  # a newer probe superseded this echo
+        link = self.network.link_between(*key)
+        a, b = key
+        if not (
+            link.up
+            and self.network.switches[a].up
+            and self.network.switches[b].up
+        ):
+            return  # the link died while the echo was in flight
+        self._c_echoes.inc()
+        state.awaiting = False
+        state.misses = 0
+        if not state.view_up:
+            self._mark_link(key, up=True)
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    def _mark_link(
+        self, key: tuple[str, str], up: bool, misses: int = 0
+    ) -> None:
+        state = self._state[key]
+        state.view_up = up
+        self._emit(
+            FailureEvent(
+                kind="port-up" if up else "port-down",
+                subject=key,
+                time=self.sim.now,
+                misses=misses,
+            )
+        )
+        # switch inference: a switch with every monitored link down is
+        # declared down; any link back up revives it.
+        for switch in key:
+            links = [k for k in self.monitored if switch in k]
+            all_down = all(not self._state[k].view_up for k in links)
+            if all_down and switch not in self._switch_view_down:
+                self._switch_view_down.add(switch)
+                self._emit(
+                    FailureEvent(
+                        kind="switch-down",
+                        subject=(switch,),
+                        time=self.sim.now,
+                    )
+                )
+            elif not all_down and switch in self._switch_view_down:
+                self._switch_view_down.discard(switch)
+                self._emit(
+                    FailureEvent(
+                        kind="switch-up",
+                        subject=(switch,),
+                        time=self.sim.now,
+                    )
+                )
+
+    def _emit(self, event: FailureEvent) -> None:
+        self.events.append(event)
+        self._c_events[event.kind].inc()
+        self.obs.tracer.event(
+            "resilience",
+            event.kind,
+            subject="<->".join(event.subject),
+            misses=event.misses,
+        )
+        for listener in list(self.listeners):
+            listener(event)
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureDetector({len(self.monitored)} links, "
+            f"period={self.period_s}, threshold={self.miss_threshold}, "
+            f"{'running' if self._running else 'stopped'})"
+        )

@@ -1,0 +1,260 @@
+"""Recovery orchestration: execute repair plans against a controller.
+
+The :class:`RecoveryOrchestrator` is the glue between detection and the
+existing control plane.  It subscribes to :class:`FailureDetector` events
+and, on every link verdict:
+
+1. syncs the controller's *planning topology* with the detector's view
+   (removing edges believed down, restoring them — with their original
+   delay and bandwidth — when echoes return);
+2. asks the :class:`~repro.resilience.repair.RepairPlanner` for a plan;
+3. executes it inside one ``repair`` control request: suspend cut-off
+   clients, swap tree structures, let the existing ledger/reconciler
+   machinery derive the desired flow state and apply the minimal diff,
+   resume clients whose component rejoined;
+4. proves the repaired deployment with the :mod:`repro.analysis` static
+   verifier and records a :class:`RepairRecord` with the modeled repair
+   latency (flow mods x control-channel round trip — wall-clock compute
+   time is deliberately excluded so records are deterministic).
+
+Execution order inside a pass matters: suspension must come *before* the
+tree rebuilds (a detached member would make path installation fail), and
+resumption *after* them (resuming first would lay paths over structures
+about to be replaced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.verify import verify_controller
+from repro.controller.controller import PleromaController
+from repro.network.topology import LinkSpec
+from repro.obs.context import Observability
+from repro.resilience.detector import FailureDetector, FailureEvent
+from repro.resilience.repair import RepairPlanner, SuspendedClient
+
+__all__ = ["RecoveryOrchestrator", "RepairRecord"]
+
+
+@dataclass(frozen=True)
+class RepairRecord:
+    """Outcome of one detect-triggered repair pass."""
+
+    time: float                # sim time the repair executed (== detection)
+    trigger_kind: str          # detector event kind that triggered it
+    trigger_subject: str       # "a<->b" or switch name
+    degraded: bool             # surviving switch graph was split
+    trees_rebuilt: int
+    flow_mods: int
+    suspended: int             # clients withdrawn by this pass
+    resumed: int               # clients restored by this pass
+    repair_latency_s: float    # modeled: flow_mods x flow_mod_latency_s
+    verifier_ok: bool
+    violations: int
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "trigger_kind": self.trigger_kind,
+            "trigger_subject": self.trigger_subject,
+            "degraded": self.degraded,
+            "trees_rebuilt": self.trees_rebuilt,
+            "flow_mods": self.flow_mods,
+            "suspended": self.suspended,
+            "resumed": self.resumed,
+            "repair_latency_s": self.repair_latency_s,
+            "verifier_ok": self.verifier_ok,
+            "violations": self.violations,
+        }
+
+
+class RecoveryOrchestrator:
+    """Listens to a detector; repairs one controller's deployment."""
+
+    def __init__(
+        self,
+        controller: PleromaController,
+        detector: FailureDetector,
+        obs: Observability | None = None,
+        verify: bool = True,
+    ) -> None:
+        self.controller = controller
+        self.detector = detector
+        self.obs = obs if obs is not None else controller.obs
+        self.verify = verify
+        self.planner = RepairPlanner(controller)
+        self.records: list[RepairRecord] = []
+        self._down_edges: set[frozenset[str]] = set()
+        self._saved_specs: dict[frozenset[str], LinkSpec] = {}
+        self._suspended_advs: dict[int, SuspendedClient] = {}
+        self._suspended_subs: dict[int, SuspendedClient] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def suspended_clients(self) -> int:
+        return len(self._suspended_advs) + len(self._suspended_subs)
+
+    def down_edges(self) -> list[tuple[str, str]]:
+        return sorted(tuple(sorted(edge)) for edge in self._down_edges)
+
+    # ------------------------------------------------------------------
+    # detector listener
+    # ------------------------------------------------------------------
+    def on_event(self, event: FailureEvent) -> None:
+        """React to one detector verdict.
+
+        Switch verdicts are informational only — they always arrive
+        together with the port verdicts of the switch's links, and those
+        carry all the information repair needs.
+        """
+        if event.kind == "port-down":
+            key = frozenset(event.subject)
+            if key in self._down_edges:
+                return
+            self._down_edges.add(key)
+            self._remove_planning_edge(*event.subject)
+            self._repair(event)
+        elif event.kind == "port-up":
+            key = frozenset(event.subject)
+            if key not in self._down_edges:
+                return
+            self._down_edges.discard(key)
+            self._restore_planning_edge(*event.subject)
+            self._repair(event)
+
+    # ------------------------------------------------------------------
+    # planning-topology sync
+    # ------------------------------------------------------------------
+    def _remove_planning_edge(self, a: str, b: str) -> None:
+        topology = self.controller.topology
+        if topology.graph.has_edge(a, b):
+            self._saved_specs[frozenset((a, b))] = topology.link_between(a, b)
+            topology.remove_link(a, b)
+
+    def _restore_planning_edge(self, a: str, b: str) -> None:
+        topology = self.controller.topology
+        spec = self._saved_specs.pop(frozenset((a, b)), None)
+        if not topology.graph.has_edge(a, b):
+            topology.add_link(
+                a,
+                b,
+                delay_s=spec.delay_s if spec is not None else None,
+                bandwidth_bps=spec.bandwidth_bps if spec is not None else None,
+            )
+
+    # ------------------------------------------------------------------
+    # repair execution
+    # ------------------------------------------------------------------
+    def _repair(self, trigger: FailureEvent) -> None:
+        controller = self.controller
+        plan = self.planner.plan(self._suspended_advs, self._suspended_subs)
+        mods_before = controller.total_flow_mods
+        rebuilt = 0
+        with self.obs.tracer.span(
+            "resilience",
+            "repair",
+            trigger=trigger.kind,
+            subject="<->".join(trigger.subject),
+            degraded=plan.degraded,
+        ):
+            if plan.is_noop:
+                self._record(trigger, plan, rebuilt=0, flow_mods=0)
+                return
+            with controller._request("repair"):
+                for sub_id in plan.suspend_subs:
+                    state = controller.subscriptions[sub_id]
+                    self._suspended_subs[sub_id] = SuspendedClient(
+                        sub_id,
+                        state.endpoint.name,
+                        state.endpoint.switch,
+                        state.dz_set,
+                        state.subscription,
+                    )
+                    controller.unsubscribe(sub_id)
+                for adv_id in plan.suspend_advs:
+                    state = controller.advertisements[adv_id]
+                    self._suspended_advs[adv_id] = SuspendedClient(
+                        adv_id,
+                        state.endpoint.name,
+                        state.endpoint.switch,
+                        state.dz_set,
+                        state.advertisement,
+                    )
+                    controller.unadvertise(adv_id)
+                for repair in plan.tree_repairs:
+                    tree = next(
+                        (
+                            t
+                            for t in controller.trees
+                            if t.tree_id == repair.tree_id
+                        ),
+                        None,
+                    )
+                    if tree is None:
+                        continue  # retired by the suspension pass
+                    changed = controller.ledger.remove_keys_where(
+                        tree_id=repair.tree_id
+                    )
+                    tree.root = repair.root
+                    tree.replace_structure(repair.parents)
+                    controller._withdraw(changed)
+                    for adv_id, member in sorted(tree.publishers.items()):
+                        adv = controller.advertisements.get(adv_id)
+                        if adv is None:
+                            tree.leave_publisher(adv_id)
+                            continue
+                        controller._add_flow_mult_sub(tree, adv, member.overlap)
+                    rebuilt += 1
+                for adv_id in plan.resume_advs:
+                    client = self._suspended_advs.pop(adv_id)
+                    controller.advertise(
+                        client.host,
+                        client.request,
+                        dz_set=client.dz_set,
+                        adv_id=adv_id,
+                    )
+                for sub_id in plan.resume_subs:
+                    client = self._suspended_subs.pop(sub_id)
+                    controller.subscribe(
+                        client.host,
+                        client.request,
+                        dz_set=client.dz_set,
+                        sub_id=sub_id,
+                    )
+            self._record(
+                trigger,
+                plan,
+                rebuilt=rebuilt,
+                flow_mods=controller.total_flow_mods - mods_before,
+            )
+
+    def _record(self, trigger, plan, rebuilt: int, flow_mods: int) -> None:
+        verifier_ok, violations = True, 0
+        if self.verify:
+            report = verify_controller(self.controller)
+            verifier_ok = report.ok
+            violations = len(report.violations)
+        record = RepairRecord(
+            time=self.controller.network.sim.now,
+            trigger_kind=trigger.kind,
+            trigger_subject="<->".join(trigger.subject),
+            degraded=plan.degraded,
+            trees_rebuilt=rebuilt,
+            flow_mods=flow_mods,
+            suspended=len(plan.suspend_subs) + len(plan.suspend_advs),
+            resumed=len(plan.resume_subs) + len(plan.resume_advs),
+            repair_latency_s=flow_mods * self.controller.flow_mod_latency_s,
+            verifier_ok=verifier_ok,
+            violations=violations,
+        )
+        self.records.append(record)
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryOrchestrator({len(self.records)} repairs, "
+            f"{len(self._down_edges)} edges down, "
+            f"{self.suspended_clients} clients suspended)"
+        )

@@ -1,0 +1,198 @@
+"""Recovery SLO computation: what the chaos run *measured*.
+
+Joins the four evidence streams of a chaos run — the injected schedule
+(ground truth), the detector's event log, the orchestrator's repair
+records and the flight recorder's delivery/drop forensics — into one
+JSON-compatible report:
+
+* **detection latency** — first matching detector verdict after the
+  injection, minus the injection time.  Measured through the probe
+  machinery, never oracle-derived.
+* **repair latency** — modeled control-plane deployment time
+  (flow mods x flow-mod round trip) of the repairs the episode triggered.
+  Wall-clock compute time is deliberately excluded: the report must be
+  byte-identical across runs.
+* **blackout window** — the largest per-host delivery gap overlapping the
+  episode, measured purely from the flight recorder's delivery times
+  (:func:`repro.obs.paths.blackout_windows`).
+* **packets lost** — drops attributed to ``link-down`` / ``switch-down``
+  inside the episode's window.
+* **continuity** — per-host delivery counts and the final static-verifier
+  verdict over the healed deployment.
+
+Every number is derived from simulated time or event counts, so two runs
+with the same seeds serialise byte-identically regardless of host, hash
+seed or machine load.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.verify import verify_controller
+from repro.obs.paths import FlightReport, blackout_windows
+from repro.resilience.chaos import ChaosSchedule
+from repro.resilience.detector import FailureDetector
+from repro.resilience.orchestrator import RecoveryOrchestrator
+
+__all__ = ["build_slo_report"]
+
+_LOSS_REASONS = ("link-down", "switch-down")
+
+
+def _first_event(
+    detector: FailureDetector,
+    kinds: tuple[str, ...],
+    subjects: set[tuple[str, ...]],
+    not_before: float,
+    not_after: float,
+) -> float | None:
+    for event in detector.events:
+        if (
+            event.kind in kinds
+            and event.subject in subjects
+            and not_before <= event.time < not_after
+        ):
+            return event.time
+    return None
+
+
+def build_slo_report(
+    middleware,
+    schedule: ChaosSchedule,
+    detector: FailureDetector,
+    orchestrator: RecoveryOrchestrator,
+    report: FlightReport,
+) -> dict:
+    """Compute the recovery SLO report for one completed chaos run."""
+    episodes = []
+    ends = [a.at for a in schedule.actions[1:]] + [schedule.horizon]
+    for action, window_end in zip(schedule.actions, ends):
+        subjects: set[tuple[str, ...]] = {
+            tuple(sorted(edge)) for edge in action.edges
+        }
+        detected_at = _first_event(
+            detector, ("port-down",), subjects, action.at, window_end
+        )
+        healed_at = _first_event(
+            detector, ("port-up",), subjects, action.heal_at, window_end
+        )
+        switch_detected_at = None
+        if action.switch is not None:
+            switch_detected_at = _first_event(
+                detector,
+                ("switch-down",),
+                {(action.switch,)},
+                action.at,
+                window_end,
+            )
+        repairs = [
+            r
+            for r in orchestrator.records
+            if action.at <= r.time < window_end
+        ]
+        lost = [
+            d
+            for d in report.drops
+            if d["reason"] in _LOSS_REASONS
+            and action.at <= d["t"] < window_end
+        ]
+        gaps = blackout_windows(report, window=(action.at, window_end))
+        worst_gap = max(
+            (g["gap_s"] for g in gaps.values()), default=None
+        )
+        episodes.append(
+            {
+                "action": action.to_dict(),
+                "detection": {
+                    "port_down_at": detected_at,
+                    "latency_s": (
+                        detected_at - action.at
+                        if detected_at is not None
+                        else None
+                    ),
+                    "switch_down_at": switch_detected_at,
+                    "heal_port_up_at": healed_at,
+                    "heal_latency_s": (
+                        healed_at - action.heal_at
+                        if healed_at is not None
+                        else None
+                    ),
+                },
+                "repair": {
+                    "passes": len(repairs),
+                    "trees_rebuilt": sum(r.trees_rebuilt for r in repairs),
+                    "flow_mods": sum(r.flow_mods for r in repairs),
+                    "latency_s": sum(r.repair_latency_s for r in repairs),
+                    "suspended": sum(r.suspended for r in repairs),
+                    "resumed": sum(r.resumed for r in repairs),
+                    "degraded": any(r.degraded for r in repairs),
+                    # Verdict of the LAST pass: a compound failure (e.g. a
+                    # switch crash) is detected one link-verdict at a time,
+                    # and a pass between verdicts can honestly verify dirty
+                    # — the dead element is still believed reachable.  What
+                    # the SLO judges is the converged state; the transient
+                    # is surfaced separately, never hidden.
+                    "verifier_ok": (
+                        repairs[-1].verifier_ok if repairs else True
+                    ),
+                    "violations": (
+                        repairs[-1].violations if repairs else 0
+                    ),
+                    "transient_dirty_passes": sum(
+                        1 for r in repairs if not r.verifier_ok
+                    ),
+                },
+                "blackout": {
+                    "packets_lost": len(lost),
+                    "loss_reasons": _count_reasons(lost),
+                    "worst_gap_s": worst_gap,
+                    "per_host": gaps,
+                },
+            }
+        )
+    metrics = middleware.metrics
+    final = [verify_controller(c) for c in middleware.controllers]
+    deliveries_per_host = metrics.deliveries_per_host()
+    return {
+        "schedule": schedule.to_dict(),
+        "detector": {
+            "probe_period_s": detector.period_s,
+            "miss_threshold": detector.miss_threshold,
+            "monitored_links": len(detector.monitored),
+            "events": _count_event_kinds(detector),
+        },
+        "episodes": episodes,
+        "continuity": {
+            "published": metrics.published,
+            "delivered": metrics.delivered,
+            "deliveries_per_host": {
+                host: deliveries_per_host[host]
+                for host in sorted(deliveries_per_host)
+            },
+            "drop_counts": {
+                k: report.drop_counts[k] for k in sorted(report.drop_counts)
+            },
+        },
+        "final": {
+            "verifier_ok": all(r.ok for r in final),
+            "violations": sum(len(r.violations) for r in final),
+            "repair_passes": len(orchestrator.records),
+            "clients_suspended": orchestrator.suspended_clients,
+            "edges_believed_down": [
+                list(edge) for edge in orchestrator.down_edges()
+            ],
+        },
+    }
+
+
+def _count_reasons(drops: list[dict]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for drop in drops:
+        counts[drop["reason"]] = counts.get(drop["reason"], 0) + 1
+    return {k: counts[k] for k in sorted(counts)}
+
+
+def _count_event_kinds(detector: FailureDetector) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for event in detector.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return {k: counts[k] for k in sorted(counts)}

@@ -1,0 +1,59 @@
+"""The reroute primitive's typed outcome (and its bool-compat shim).
+
+``reroute_tree_around_edge`` historically returned a bare bool; callers
+like the overload manager branch on truthiness.  It now returns a
+:class:`RerouteOutcome` that says *why* nothing happened, while staying
+truthy exactly when a reroute was deployed.
+"""
+
+from repro.controller.controller import RerouteOutcome
+from repro.core.subscription import Advertisement, Filter
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import line, paper_fat_tree
+
+FULL = (0, 1023)
+
+
+class TestOutcomeValues:
+    def test_rerouted_on_redundant_edge(self):
+        middleware = Pleroma(paper_fat_tree(), dimensions=1)
+        controller = middleware.controllers[0]
+        middleware.advertise("h1", Advertisement(filter=Filter.of(attr0=FULL)))
+        tree = next(iter(controller.trees))
+        child, parent = next(iter(tree.parents.items()))
+        outcome = controller.reroute_tree_around_edge(
+            tree.tree_id, child, parent
+        )
+        assert outcome is RerouteOutcome.REROUTED
+        assert not tree.uses_edge(child, parent)
+
+    def test_tree_not_on_edge(self):
+        middleware = Pleroma(paper_fat_tree(), dimensions=1)
+        controller = middleware.controllers[0]
+        middleware.advertise("h1", Advertisement(filter=Filter.of(attr0=FULL)))
+        tree = next(iter(controller.trees))
+        unused = next(
+            (spec.a, spec.b)
+            for spec in middleware.topology.links()
+            if middleware.topology.is_switch(spec.a)
+            and middleware.topology.is_switch(spec.b)
+            and not tree.uses_edge(spec.a, spec.b)
+        )
+        outcome = controller.reroute_tree_around_edge(tree.tree_id, *unused)
+        assert outcome is RerouteOutcome.TREE_NOT_ON_EDGE
+
+    def test_edge_is_bridge(self):
+        middleware = Pleroma(line(3), dimensions=1)
+        controller = middleware.controllers[0]
+        middleware.advertise("h1", Advertisement(filter=Filter.of(attr0=FULL)))
+        tree = next(iter(controller.trees))
+        outcome = controller.reroute_tree_around_edge(tree.tree_id, "R1", "R2")
+        assert outcome is RerouteOutcome.EDGE_IS_BRIDGE
+        assert tree.uses_edge("R1", "R2")  # untouched
+
+
+class TestBoolCompatibility:
+    def test_only_rerouted_is_truthy(self):
+        assert bool(RerouteOutcome.REROUTED)
+        assert not bool(RerouteOutcome.TREE_NOT_ON_EDGE)
+        assert not bool(RerouteOutcome.EDGE_IS_BRIDGE)

@@ -1,0 +1,122 @@
+"""Link/switch liveness status: gauges, restore semantics, report output.
+
+``Link.fail()``/``restore()`` and ``Switch.fail()``/``restore()`` used to
+be silent bit flips; now every transition is visible in the registry (the
+failure detector's SLOs and the ``report`` CLI depend on that), restore
+resets the transmit-queue horizon, and a crashed switch loses its TCAM.
+"""
+
+from repro.core.events import Event
+from repro.core.subscription import Filter
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import line
+from repro.obs.export import render_report
+
+
+def deploy():
+    middleware = Pleroma(line(4), dimensions=2, max_dz_length=10)
+    middleware.publisher("h1").advertise(Filter.of())
+    middleware.subscriber("h4").subscribe(Filter.of())
+    return middleware
+
+
+class TestLinkStatus:
+    def test_fail_and_restore_toggle_admin_status(self):
+        middleware = deploy()
+        link = middleware.network.link_between("R1", "R2")
+        gauges = middleware.obs.registry
+        key = f"link.admin_up{{link={link.label}}}"
+        assert link.up and link.admin_up
+        assert gauges.snapshot()["gauges"][key] == 1.0
+        link.fail()
+        assert not link.up and not link.admin_up and link.oper_up
+        assert gauges.snapshot()["gauges"][key] == 0.0
+        link.restore()
+        assert link.up and link.admin_up
+        assert gauges.snapshot()["gauges"][key] == 1.0
+
+    def test_fail_restore_idempotent_and_counted(self):
+        middleware = deploy()
+        link = middleware.network.link_between("R1", "R2")
+        key = f"link.status_changes{{link={link.label}}}"
+        link.fail()
+        link.fail()
+        link.restore()
+        link.restore()
+        counters = middleware.obs.registry.snapshot()["counters"]
+        assert counters[key] == 2  # one down, one up — no double counting
+
+    def test_oper_status_is_independent_of_admin(self):
+        middleware = deploy()
+        link = middleware.network.link_between("R1", "R2")
+        link.set_oper(False)
+        assert not link.up and link.admin_up and not link.oper_up
+        key = f"link.oper_up{{link={link.label}}}"
+        assert middleware.obs.registry.snapshot()["gauges"][key] == 0.0
+        link.set_oper(True)
+        assert link.up
+
+    def test_restore_resets_transmit_queues(self):
+        """Traffic queued behind the pre-failure busy horizon must not
+        delay post-restore traffic: a restored link starts clean."""
+        middleware = deploy()
+        link = middleware.network.link_between("R1", "R2")
+        # drive the busy horizon forward, then fail mid-stream
+        middleware.publish("h1", Event.of(attr0=1.0, attr1=1.0))
+        middleware.run()
+        assert max(link._dir_ab.busy_until, link._dir_ba.busy_until) > 0.0
+        link.fail()
+        link.restore()
+        assert link._dir_ab.busy_until == 0.0
+        assert link._dir_ba.busy_until == 0.0
+
+    def test_down_traffic_is_lost_and_counted(self):
+        middleware = deploy()
+        link = middleware.network.link_between("R2", "R3")
+        link.fail()
+        middleware.publish("h1", Event.of(attr0=1.0, attr1=1.0))
+        middleware.run()
+        assert link.packets_lost_down >= 1
+
+
+class TestSwitchLiveness:
+    def test_crash_clears_tcam_and_drops_traffic(self):
+        middleware = deploy()
+        switch = middleware.network.switches["R2"]
+        assert len(switch.table) > 0  # deployment installed flows
+        switch.fail()
+        assert not switch.up
+        assert len(switch.table) == 0  # TCAM is volatile
+        middleware.publish("h1", Event.of(attr0=1.0, attr1=1.0))
+        middleware.run()
+        counters = middleware.obs.registry.snapshot()["counters"]
+        key = "switch.packets_dropped{reason=switch-down,switch=R2}"
+        assert counters[key] >= 1
+
+    def test_revive_comes_back_cold(self):
+        middleware = deploy()
+        switch = middleware.network.switches["R2"]
+        switch.fail()
+        switch.restore()
+        assert switch.up
+        assert len(switch.table) == 0  # nobody reinstalled flows yet
+        gauge = middleware.obs.registry.snapshot()["gauges"]
+        assert gauge["switch.up{switch=R2}"] == 1.0
+
+
+class TestReportShowsDownDevices:
+    def test_down_devices_section_lists_failed_elements(self):
+        middleware = deploy()
+        middleware.network.link_between("R1", "R2").fail()
+        middleware.network.link_between("R2", "R3").set_oper(False)
+        middleware.network.switches["R4"].fail()
+        out = render_report(middleware.obs_snapshot())
+        assert "down devices" in out
+        assert "R1<->R2" in out and "admin down" in out
+        assert "R2<->R3" in out and "oper down" in out
+        assert "R4" in out and "down" in out
+
+    def test_healthy_deployment_renders_no_down_section(self):
+        middleware = deploy()
+        out = render_report(middleware.obs_snapshot())
+        assert "down devices" not in out

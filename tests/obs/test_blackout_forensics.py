@@ -1,0 +1,86 @@
+"""Blackout forensics: the flight recorder explains every lost packet.
+
+Satellite contract: for a chaos-injected link cut, (a) every packet lost
+during the blackout window is attributed to ``link-down`` by the drop
+forensics, and (b) the blackout window measured purely from delivery gaps
+(:func:`repro.obs.paths.blackout_windows`) matches the injected failure
+interval to within one probe period (plus the publish spacing that
+quantises where deliveries can land).
+"""
+
+from repro.core.events import Event
+from repro.core.subscription import Filter
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import line
+from repro.obs.paths import blackout_windows
+
+CUT_AT = 0.010
+HEAL_AT = 0.030
+HORIZON = 0.060
+
+
+def run_cut_episode():
+    middleware = Pleroma(line(4), dimensions=2, max_dz_length=10)
+    middleware.enable_flight_recorder()
+    detector, orchestrator = middleware.enable_resilience()
+    middleware.publisher("h1").advertise(Filter.of())
+    for host in ("h2", "h3", "h4"):
+        middleware.subscriber(host).subscribe(Filter.of())
+    interval = detector.period_s / 2.0
+    count = int(HORIZON / interval) - 2
+    middleware.publish_stream(
+        "h1",
+        (Event.of(attr0=1.0, attr1=1.0) for _ in range(count)),
+        rate_eps=1.0 / interval,
+        start_at=0.0,
+    )
+    link = middleware.network.link_between("R2", "R3")
+    middleware.sim.schedule_at(CUT_AT, link.fail)
+    middleware.sim.schedule_at(HEAL_AT, link.restore)
+    middleware.run(until=HORIZON)
+    detector.stop()
+    middleware.run()
+    return middleware, detector, orchestrator, middleware.flight_report(), interval
+
+
+class TestDropAttribution:
+    def test_every_blackout_loss_is_attributed_to_link_down(self):
+        """Between the cut and the first repair pass, packets die on the
+        dead link — the forensics must attribute every one of them."""
+        _, _, orchestrator, report, _ = run_cut_episode()
+        first_repair = orchestrator.records[0].time
+        assert CUT_AT < first_repair < HEAL_AT
+        window_drops = [
+            d for d in report.drops if CUT_AT <= d["t"] < first_repair
+        ]
+        assert window_drops, "the cut must actually lose packets"
+        assert all(d["reason"] == "link-down" for d in window_drops)
+        # and nothing in the drop log predates the injection
+        assert all(d["t"] >= CUT_AT for d in report.drops)
+
+
+class TestMeasuredBlackoutWindow:
+    def test_gap_matches_injected_interval_within_one_probe_period(self):
+        """The subscriber behind the cut sees one delivery gap bracketing
+        [cut, heal]; its width exceeds the injected interval only by
+        detection slack (at most one probe period) plus publish spacing."""
+        _, detector, _, report, interval = run_cut_episode()
+        gaps = blackout_windows(report, window=(CUT_AT, HORIZON))
+        assert "h4" in gaps  # the host on the far side of the cut
+        gap = gaps["h4"]
+        injected = HEAL_AT - CUT_AT
+        # starts at the last delivery before the cut
+        assert CUT_AT - 2 * interval <= gap["start"] <= CUT_AT
+        # ends at the first delivery after heal was detected and repaired
+        assert gap["end"] >= HEAL_AT
+        slack = detector.period_s + 3 * interval
+        assert gap["end"] <= HEAL_AT + slack
+        assert injected <= gap["gap_s"] <= injected + slack + 2 * interval
+
+    def test_primary_side_subscriber_sees_no_comparable_gap(self):
+        """h2 never loses connectivity to the publisher: its worst gap
+        stays at the publish cadence, far below the injected outage."""
+        _, _, _, report, interval = run_cut_episode()
+        gaps = blackout_windows(report, window=(CUT_AT, HORIZON))
+        if "h2" in gaps:
+            assert gaps["h2"]["gap_s"] <= 4 * interval

@@ -1,0 +1,141 @@
+"""The failure detector: probes, miss accounting, verdicts, determinism."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.middleware.pleroma import Pleroma
+from repro.network.topology import line, paper_fat_tree
+from repro.resilience.detector import FailureDetector
+
+
+def deploy(topology=None):
+    middleware = Pleroma(
+        topology if topology is not None else line(4),
+        dimensions=2,
+        max_dz_length=10,
+    )
+    return middleware
+
+
+class TestConstruction:
+    def test_monitors_every_switch_link_sorted(self):
+        middleware = deploy(paper_fat_tree())
+        detector = FailureDetector(middleware.network, obs=middleware.obs)
+        assert detector.monitored == sorted(detector.monitored)
+        assert len(detector.monitored) == 16  # fat-tree switch links only
+        assert all(
+            middleware.topology.is_switch(a)
+            and middleware.topology.is_switch(b)
+            for a, b in detector.monitored
+        )
+
+    def test_rejects_bad_parameters(self):
+        middleware = deploy()
+        with pytest.raises(TopologyError):
+            FailureDetector(middleware.network, period_s=0.0)
+        with pytest.raises(TopologyError):
+            FailureDetector(middleware.network, miss_threshold=0)
+
+
+class TestDetection:
+    def test_link_cut_is_detected_without_oracle(self):
+        """The detector learns of the failure only from missing echoes —
+        detection latency is bounded by the probe schedule, not zero."""
+        middleware = deploy()
+        detector = FailureDetector(middleware.network, obs=middleware.obs)
+        detector.start()
+        cut_at = 0.01
+        middleware.sim.schedule_at(
+            cut_at, middleware.network.link_between("R2", "R3").fail
+        )
+        middleware.run(until=0.03)
+        detector.stop()
+        downs = [e for e in detector.events if e.kind == "port-down"]
+        assert [e.subject for e in downs] == [("R2", "R3")]
+        latency = downs[0].time - cut_at
+        assert latency > 0.0
+        # worst case: the failure lands right after a probe, then
+        # threshold misses must accumulate (plus one period of phase)
+        assert latency <= (detector.miss_threshold + 2) * detector.period_s
+        assert downs[0].misses >= detector.miss_threshold
+        assert detector.down_edges() == [("R2", "R3")]
+        assert not detector.link_view_up("R2", "R3")
+
+    def test_restore_is_detected_as_port_up(self):
+        middleware = deploy()
+        detector = FailureDetector(middleware.network, obs=middleware.obs)
+        detector.start()
+        link = middleware.network.link_between("R2", "R3")
+        middleware.sim.schedule_at(0.01, link.fail)
+        middleware.sim.schedule_at(0.03, link.restore)
+        middleware.run(until=0.05)
+        detector.stop()
+        kinds = [e.kind for e in detector.events]
+        assert kinds == ["port-down", "port-up"]
+        up = detector.events[-1]
+        assert 0.03 <= up.time <= 0.03 + 2 * detector.period_s
+        assert detector.down_edges() == []
+
+    def test_switch_death_inferred_from_its_links(self):
+        """No switch probe exists: a switch is down when every monitored
+        link touching it is down."""
+        middleware = deploy(paper_fat_tree())
+        detector = FailureDetector(middleware.network, obs=middleware.obs)
+        detector.start()
+
+        def crash(name):
+            middleware.network.switches[name].fail()
+            for key, link in middleware.network.links.items():
+                if name in key:
+                    link.set_oper(False)
+
+        middleware.sim.schedule_at(0.01, crash, "R3")
+        middleware.run(until=0.04)
+        detector.stop()
+        assert detector.down_switches() == ["R3"]
+        assert any(
+            e.kind == "switch-down" and e.subject == ("R3",)
+            for e in detector.events
+        )
+
+    def test_flap_shorter_than_miss_budget_is_absorbed(self):
+        """A single lost probe (down < one period) never trips the
+        three-miss threshold — the detector does not flap."""
+        middleware = deploy()
+        detector = FailureDetector(middleware.network, obs=middleware.obs)
+        detector.start()
+        link = middleware.network.link_between("R2", "R3")
+        middleware.sim.schedule_at(0.0101, link.fail)
+        middleware.sim.schedule_at(0.0115, link.restore)  # < one period
+        middleware.run(until=0.04)
+        detector.stop()
+        assert detector.events == []
+
+
+class TestLifecycleAndDeterminism:
+    def test_stop_cancels_probes_so_sim_drains(self):
+        middleware = deploy()
+        detector = FailureDetector(middleware.network, obs=middleware.obs)
+        detector.start()
+        middleware.run(until=0.01)
+        detector.stop()
+        middleware.run()  # must terminate: no self-rescheduling probes left
+        assert not detector.running
+
+    def test_same_seed_same_events(self):
+        def run(seed):
+            middleware = deploy(paper_fat_tree())
+            detector = FailureDetector(
+                middleware.network, obs=middleware.obs, seed=seed
+            )
+            detector.start()
+            middleware.sim.schedule_at(
+                0.01, middleware.network.link_between("R1", "R5").fail
+            )
+            middleware.run(until=0.04)
+            detector.stop()
+            return [(e.kind, e.subject, e.time, e.misses) for e in detector.events]
+
+        assert run(3) == run(3)
+        # a different seed shifts the probe phases, so detection times move
+        assert [t for _, _, t, _ in run(3)] != [t for _, _, t, _ in run(4)]

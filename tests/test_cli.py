@@ -282,3 +282,54 @@ class TestTrace:
         second = capsys.readouterr().out
         mask = lambda s: re.sub(r"packet \d+", "packet N", s)  # noqa: E731
         assert mask(first) == mask(second)
+
+
+class TestChaos:
+    def test_chaos_text_summary(self, capsys):
+        assert main(["chaos", "--topology", "line", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: line, seed 1" in out
+        assert "link-cut" in out
+        assert "link-flap" in out
+        assert "switch-crash" in out
+        assert "partition" in out
+        assert "verifier ok" in out
+        assert "0 client(s) still suspended" in out
+
+    def test_chaos_fat_tree_alias(self, capsys):
+        """The chaos-local "fat-tree" alias resolves to the paper testbed
+        without appearing in the shared topology registry."""
+        from repro.cli import _CHAOS_TOPOLOGIES, _TOPOLOGIES
+
+        assert "fat-tree" in _CHAOS_TOPOLOGIES
+        assert "fat-tree" not in _TOPOLOGIES
+        assert main(["chaos", "--topology", "fat-tree", "--seed", "1"]) == 0
+        assert "chaos: fat-tree" in capsys.readouterr().out
+
+    def test_chaos_json_is_deterministic(self, capsys):
+        args = ["chaos", "--topology", "line", "--seed", "2", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        document = json.loads(first)
+        assert document["final"]["verifier_ok"] is True
+        assert len(document["episodes"]) == 4
+        for episode in document["episodes"]:
+            assert episode["detection"]["latency_s"] is not None
+
+    def test_chaos_out_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "slo.json"
+        assert main(
+            ["chaos", "--topology", "ring", "--seed", "0",
+             "--out", str(out_file)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(out_file.read_text())
+        assert document["schedule"]["seed"] == 0
+        assert document["final"]["verifier_ok"] is True
