@@ -122,15 +122,19 @@ def test_switch_forward_flight_enabled(benchmark):
 
 
 # ----------------------------------------------------------------------
-# flight-recorder disabled-overhead acceptance check
+# hot-path overhead acceptance checks
 #
 # The hot path with *no* recorder attached must stay within 5% of a
 # hook-free replica of the same code.  The replica functions below are
 # the device methods with the flight-hook lines deleted and the
 # downstream calls rerouted to each other, so a drained iteration runs
-# entirely without the ``self._flight`` guards.
+# entirely without the ``self._flight`` guards.  ``record_hits``
+# selects whether the replica updates the per-rule hardware counters:
+# True replicates the current data plane (used to isolate the flight
+# hooks), False replicates the pre-telemetry seed (used to bound the
+# cost of the counters themselves).
 # ----------------------------------------------------------------------
-def _receive_replica(sw, packet, in_port):
+def _receive_replica(sw, packet, in_port, record_hits=True):
     from repro.core.addressing import PUBSUB_CONTROL_ADDRESS
 
     sw._received.inc()
@@ -143,6 +147,8 @@ def _receive_replica(sw, packet, in_port):
     if entry is None:
         sw._dropped_table_miss.inc()
         return
+    if record_hits:
+        sw.table.record_hit(entry, packet.size_bytes, sw.sim.now)
     delay = sw.lookup_delay_s
     if sw.lookup_jitter_s:
         delay += sw._rng.uniform(0.0, sw.lookup_jitter_s)
@@ -162,10 +168,12 @@ def _receive_replica(sw, packet, in_port):
         else:
             outgoing = packet.with_destination(packet.dst_address)
         sw._forwarded.inc()
-        sw.sim.schedule(delay, _transmit_replica, link, sw, outgoing)
+        sw.sim.schedule(
+            delay, _transmit_replica, link, sw, outgoing, record_hits
+        )
 
 
-def _transmit_replica(link, sender, packet):
+def _transmit_replica(link, sender, packet, record_hits=True):
     if not link.up:
         link._lost_down.inc()
         return
@@ -178,7 +186,9 @@ def _transmit_replica(link, sender, packet):
     direction.packets.inc()
     direction.bytes.inc(packet.size_bytes)
     packet.hops += 1
-    link.sim.schedule_at(arrival, _receive_replica, receiver, packet, far_port)
+    link.sim.schedule_at(
+        arrival, _receive_replica, receiver, packet, far_port, record_hits
+    )
 
 
 def _forward_rig():
@@ -234,6 +244,50 @@ def test_flight_recorder_disabled_overhead():
         f"disabled flight hooks cost {(ratio - 1) * 100:.2f}% "
         f"(budget 5%): hooked={min(hooked_times):.4f}s "
         f"replica={min(replica_times):.4f}s"
+    )
+
+
+def test_telemetry_counters_overhead():
+    """Acceptance: with telemetry disabled (no poller, no channel), the
+    always-on per-rule hardware counters cost <5% on the hot forwarding
+    path versus the pre-telemetry seed.  Same interleaved min-of-rounds
+    methodology as the flight-recorder check; the seed is the replica
+    with ``record_hits=False``."""
+    import time
+
+    iterations, rounds = 2000, 7
+
+    sim_c, sw_c, pkt_c, port_c = _forward_rig()
+
+    def counted():
+        sw_c.receive(pkt_c, port_c)
+        sim_c.run()
+
+    sim_s, sw_s, pkt_s, port_s = _forward_rig()
+
+    def seed():
+        _receive_replica(sw_s, pkt_s, port_s, record_hits=False)
+        sim_s.run()
+
+    def timed(fn):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        return time.perf_counter() - start
+
+    timed(counted), timed(seed)  # warm-up
+    counted_times, seed_times = [], []
+    for _ in range(rounds):
+        counted_times.append(timed(counted))
+        seed_times.append(timed(seed))
+    ratio = min(counted_times) / min(seed_times)
+    assert sw_c.packets_forwarded == sw_s.packets_forwarded
+    # the counters really ran on one side and not the other
+    assert sw_c.table.entries_with_stats()[0][1].packets > 0
+    assert sw_s.table.entries_with_stats()[0][1].packets == 0
+    assert ratio < 1.05, (
+        f"flow counters cost {(ratio - 1) * 100:.2f}% (budget 5%): "
+        f"counted={min(counted_times):.4f}s seed={min(seed_times):.4f}s"
     )
 
 

@@ -29,6 +29,15 @@ Commands
     forensics and a per-link hotness table; ``--out`` exports the
     deterministic trace document, ``--chrome-out`` writes Chrome
     trace-event JSON (load in ``chrome://tracing`` / Perfetto).
+``stats``
+    Run a skewed workload with in-band telemetry enabled: the controller
+    polls every switch with OpenFlow ``FlowStats``/``PortStats``/
+    ``TableStats`` requests over the control channel (no oracle reads),
+    then prints the polled heavy hitters, per-switch polling state,
+    inferred port loss, the alert log and the reconciliation against the
+    oracle counters.  ``--json`` emits a byte-stable document, ``--out``
+    writes it to a file, ``--prom`` exports the metrics registry in
+    Prometheus/OpenMetrics text format.
 ``chaos``
     Run a seeded failure schedule (link cut, flap train, switch crash,
     partition) against a deployment with the self-healing control plane
@@ -208,6 +217,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="export Chrome trace-event JSON for chrome://tracing",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="poll in-band OpenFlow statistics over a skewed workload",
+    )
+    stats.add_argument(
+        "--topology",
+        choices=sorted(_TOPOLOGIES),
+        default="paper-fat-tree",
+    )
+    stats.add_argument("--events", type=int, default=200)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--period",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="statistics polling period in sim time (default 10 ms)",
+    )
+    stats.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="heavy hitters to report (default 5)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats document as deterministic JSON instead of text",
+    )
+    stats.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the stats document JSON to PATH",
+    )
+    stats.add_argument(
+        "--prom",
+        metavar="PATH",
+        default=None,
+        help="export the metrics registry as Prometheus/OpenMetrics text",
     )
 
     chaos = sub.add_parser(
@@ -695,6 +746,147 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.telemetry import reconcile_with_oracle
+
+    rng = random.Random(args.seed)
+    middleware = Pleroma(
+        _topology(args.topology), dimensions=2, max_dz_length=12
+    )
+    poller, engine = middleware.enable_telemetry(
+        period_s=args.period, top_k=args.top_k
+    )
+    hosts = sorted(middleware.topology.hosts())
+    publisher = hosts[0]
+    middleware.publisher(publisher).advertise(Filter.of())
+    bands = ((0, 255), (256, 511), (512, 767), (768, 1023))
+    for i, host in enumerate(hosts[1:]):
+        middleware.subscriber(host).subscribe(
+            Filter.of(attr0=bands[i % len(bands)])
+        )
+    for i in range(args.events):
+        # cubing the uniform draw skews events toward low attr0 values, so
+        # the first band's dz-subspaces dominate and heavy hitters emerge
+        middleware.sim.schedule(
+            i * 1e-3,
+            middleware.publish,
+            publisher,
+            Event.of(
+                attr0=rng.uniform(0.0, 1.0) ** 3 * 1023.0,
+                attr1=rng.uniform(0.0, 1023.0),
+            ),
+        )
+    middleware.run()
+    # closing round: poll the final counter state, then reconcile — with
+    # the network drained the polled view must agree with the oracle
+    poller.poll_now()
+    middleware.run()
+    reconciliation = reconcile_with_oracle(poller, middleware.network)
+    channel = poller.channel
+    document = {
+        "workload": {
+            "topology": args.topology,
+            "events": args.events,
+            "seed": args.seed,
+            "period_s": args.period,
+        },
+        "telemetry": poller.summary(),
+        "alerts": engine.summary(),
+        "reconciliation": reconciliation,
+        "control_plane": {
+            "messages_to_switches": channel.messages_to_switches(),
+            "messages_to_controller": channel.messages_to_controller(),
+            "bytes_to_switches": channel.bytes_to_switches(),
+            "bytes_to_controller": channel.bytes_to_controller(),
+        },
+    }
+    if args.out is not None:
+        from repro.obs.export import write_json
+
+        write_json(document, args.out)
+    if args.prom is not None:
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(middleware.obs.registry.snapshot(), args.prom)
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+        return 0
+    summary = document["telemetry"]
+    cp = document["control_plane"]
+    print(
+        f"stats: {args.topology}, {args.events} events, seed {args.seed}, "
+        f"poll period {args.period * 1e3:.1f} ms"
+    )
+    print(
+        f"poll rounds: {summary['rounds_completed']} completed "
+        f"({summary['rounds_started']} started)"
+    )
+    print(
+        f"control plane: {cp['messages_to_switches']} requests / "
+        f"{cp['messages_to_controller']} replies, "
+        f"{cp['bytes_to_switches'] + cp['bytes_to_controller']} bytes"
+    )
+    print("heavy hitters (hottest dz-subspaces by polled rule counters):")
+    for rank, hh in enumerate(summary["heavy_hitters"], 1):
+        print(
+            f"  #{rank} dz={hh['dz']:<14} packets={hh['packets']:<7} "
+            f"peak rate={hh['peak_rate_pps']:.6g} pps"
+        )
+    print("per-switch polling:")
+    for name, view in sorted(summary["switches"].items()):
+        occupancy = (
+            f"{view['occupancy']:.4g}"
+            if view["occupancy"] is not None
+            else "n/a"
+        )
+        churn = view["rule_churn"]
+        print(
+            f"  {name:<6} flows={view['flows']:<4} "
+            f"polls={view['polls']:<3} occupancy={occupancy:<8} "
+            f"churn=+{churn['added']}/-{churn['removed']}"
+        )
+    if summary["port_loss"]:
+        print("inferred port loss:")
+        for entry in summary["port_loss"]:
+            print(
+                f"  {entry['switch']} port {entry['port']}: "
+                f"tx_dropped={entry['tx_dropped']} "
+                f"loss={entry['loss_pps']:.6g} pps "
+                f"skew={entry['skew_packets']}"
+            )
+    rec = document["reconciliation"]
+    print(
+        f"reconciliation vs oracle: max per-rule error "
+        f"{rec['max_rule_error_packets']} packet(s), "
+        f"view age {rec['max_age_s']:.6g} s"
+    )
+    alerts = document["alerts"]
+    if alerts["history"]:
+        print(f"alerts ({len(alerts['history'])} fired):")
+        for alert in alerts["history"]:
+            status = (
+                "ACTIVE" if alert["cleared_at"] is None
+                else f"cleared at {alert['cleared_at']:.6g} s"
+            )
+            print(
+                f"  {alert['rule']} on {alert['series']}: "
+                f"value {alert['value']:.6g} at "
+                f"{alert['fired_at']:.6g} s ({status})"
+            )
+    else:
+        print(
+            f"alerts: none fired ({alerts['evaluations']} evaluation(s), "
+            f"{len(alerts['rules'])} rule(s))"
+        )
+    if args.out is not None:
+        print(f"stats written:      {args.out}")
+    if args.prom is not None:
+        print(f"prometheus export:  {args.prom}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -796,6 +988,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "chaos": _cmd_chaos,
 }
 

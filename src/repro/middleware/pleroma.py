@@ -451,6 +451,76 @@ class Pleroma:
         of simulated time (pauses in quiet periods; publishing re-arms)."""
         return self.obs.start_sampling(self.network, period_s)
 
+    def enable_telemetry(
+        self,
+        period_s: float = 0.01,
+        rules=None,
+        top_k: int = 5,
+        latency_s: float | None = None,
+    ):
+        """Turn on in-band statistics polling and alerting.
+
+        Unlike :meth:`enable_sampling` — whose probes read switch and
+        link internals directly (an oracle no real controller has) — this
+        starts a :class:`~repro.obs.telemetry.StatsPoller` that learns the
+        data-plane state purely from OpenFlow ``FlowStats`` / ``PortStats``
+        / ``TableStats`` replies carried over a dedicated
+        :class:`~repro.network.control_channel.ControlChannel` (every
+        request and reply byte-accounted and latency-delayed), plus an
+        :class:`~repro.obs.alerts.AlertEngine` evaluating ``rules``
+        (default :data:`~repro.obs.alerts.DEFAULT_ALERT_RULES`) after each
+        completed poll round.
+
+        Each switch's ``IP_pub/sub`` diversion is rewired through the
+        telemetry channel with the previous handler preserved, so
+        controller and federation semantics are unchanged apart from the
+        (realistic) control-channel latency on diverted packets.
+
+        Returns ``(poller, engine)``; both are also reachable as
+        ``obs.telemetry`` / ``obs.alerts`` and the polled state lands in
+        the observability snapshot.
+        """
+        from repro.network.control_channel import ControlChannel
+        from repro.obs.alerts import DEFAULT_ALERT_RULES, AlertEngine
+        from repro.obs.telemetry import StatsPoller
+
+        if self.obs.telemetry is not None:
+            raise ControllerError("telemetry already enabled")
+        kwargs: dict = {} if latency_s is None else {"latency_s": latency_s}
+        channel = ControlChannel(
+            self.sim, registry=self.obs.registry, **kwargs
+        )
+        port_peers: dict = {}
+        for name in sorted(self.network.switches):
+            switch = self.network.switches[name]
+            prev = switch.control_handler
+            handler = None
+            if prev is not None:
+                def handler(message, _prev=prev, _sw=switch):
+                    _prev(_sw, message.packet, message.in_port)
+            channel.connect(switch, handler)
+            for port, link in sorted(switch.ports.items()):
+                peer, peer_port = link.endpoint_for(switch)
+                port_peers[(name, port)] = (
+                    peer.name,
+                    peer_port,
+                    peer.name in self.network.switches,
+                )
+        poller = StatsPoller(
+            self.sim,
+            channel,
+            self.obs.registry,
+            period_s=period_s,
+            port_peers=port_peers,
+            top_k=top_k,
+        ).start()
+        engine = AlertEngine(
+            registry=self.obs.registry,
+            rules=tuple(rules) if rules is not None else DEFAULT_ALERT_RULES,
+        )
+        self.obs.attach_telemetry(poller, engine)
+        return poller, engine
+
     def enable_flight_recorder(
         self,
         sample_every: int = 1,

@@ -32,9 +32,17 @@ from repro.network.openflow import (
     FeaturesRequest,
     FlowMod,
     FlowModCommand,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
     OpenFlowMessage,
     PacketIn,
     PacketOut,
+    PortStatsEntry,
+    PortStatsReply,
+    PortStatsRequest,
+    TableStatsReply,
+    TableStatsRequest,
     message_size,
 )
 from repro.network.packet import Packet
@@ -82,6 +90,11 @@ class ControlChannel:
         self._connections: dict[str, _Connection] = {}
         self.replies: list[OpenFlowMessage] = []
         self.errors: list[ErrorMessage] = []
+        # Called as listener(switch_name, message) when a reply arrives at
+        # the controller side; the stats poller subscribes here.
+        self.reply_listeners: list[
+            Callable[[str, OpenFlowMessage], None]
+        ] = []
         self._m_to_switch = self.registry.counter(
             "control.messages", direction="to_switch"
         )
@@ -172,6 +185,12 @@ class ControlChannel:
                     xid=message.xid,
                 ),
             )
+        elif isinstance(message, FlowStatsRequest):
+            self._reply(connection, self._flow_stats(switch, message.xid))
+        elif isinstance(message, PortStatsRequest):
+            self._reply(connection, self._port_stats(switch, message.xid))
+        elif isinstance(message, TableStatsRequest):
+            self._reply(connection, self._table_stats(switch, message.xid))
         elif isinstance(message, PacketOut):
             switch.send_via_port(message.out_port, message.packet)
         else:
@@ -191,6 +210,56 @@ class ControlChannel:
         else:
             assert mod.match is not None
             switch.table.remove(mod.match)
+
+    # ------------------------------------------------------------------
+    # multipart statistics replies (counters read at application time —
+    # the controller-side view is stale by at least the return latency)
+    # ------------------------------------------------------------------
+    def _flow_stats(self, switch: Switch, xid: int) -> FlowStatsReply:
+        now = self.sim.now
+        entries = tuple(
+            FlowStatsEntry(
+                match=entry.match,
+                priority=entry.priority,
+                cookie=entry.cookie,
+                packet_count=stats.packets,
+                byte_count=stats.bytes,
+                duration_s=now - stats.created_at,
+            )
+            for entry, stats in switch.table.entries_with_stats()
+        )
+        return FlowStatsReply(datapath=switch.name, entries=entries, xid=xid)
+
+    @staticmethod
+    def _port_stats(switch: Switch, xid: int) -> PortStatsReply:
+        ports = []
+        for port, link in sorted(switch.ports.items()):
+            counters = link.counters_for(switch)
+            ports.append(
+                PortStatsEntry(
+                    port=port,
+                    rx_packets=counters.rx_packets,
+                    tx_packets=counters.tx_packets,
+                    rx_bytes=counters.rx_bytes,
+                    tx_bytes=counters.tx_bytes,
+                    tx_dropped=counters.tx_dropped,
+                )
+            )
+        return PortStatsReply(
+            datapath=switch.name, ports=tuple(ports), xid=xid
+        )
+
+    @staticmethod
+    def _table_stats(switch: Switch, xid: int) -> TableStatsReply:
+        table = switch.table
+        return TableStatsReply(
+            datapath=switch.name,
+            active_count=len(table),
+            capacity=table.capacity,
+            lookup_count=table.lookups,
+            matched_count=table.lookups - table.misses,
+            xid=xid,
+        )
 
     # ------------------------------------------------------------------
     # switch -> controller
@@ -228,12 +297,16 @@ class ControlChannel:
 
     def _reply(self, connection: _Connection, message: OpenFlowMessage) -> None:
         arrival = self._controller_bound(connection, message)
-        self.sim.schedule_at(arrival, self._record_reply, message)
+        self.sim.schedule_at(arrival, self._record_reply, connection, message)
 
-    def _record_reply(self, message: OpenFlowMessage) -> None:
+    def _record_reply(
+        self, connection: _Connection, message: OpenFlowMessage
+    ) -> None:
         self.replies.append(message)
         if isinstance(message, ErrorMessage):
             self.errors.append(message)
+        for listener in self.reply_listeners:
+            listener(connection.switch.name, message)
 
     # ------------------------------------------------------------------
     # accounting

@@ -19,13 +19,41 @@ import itertools
 from dataclasses import dataclass, field, replace
 from collections.abc import Iterator
 
+from collections.abc import Callable
+
 from repro.core.addressing import MulticastPrefix, dz_to_prefix, prefix_to_dz
 from repro.core.dz import Dz
 from repro.exceptions import FlowTableError
 
-__all__ = ["Action", "FlowEntry", "FlowTable"]
+__all__ = [
+    "Action",
+    "FlowEntry",
+    "FlowStats",
+    "FlowTable",
+    "reset_cookie_counter",
+]
 
 _cookie_counter = itertools.count(1)
+
+
+def _next_cookie() -> int:
+    return next(_cookie_counter)
+
+
+def reset_cookie_counter(start: int = 1) -> None:
+    """Restart cookie allocation (called by ``Network.__init__``).
+
+    Cookies only need to be unique *within* one fabric; a process-global
+    counter would make them depend on whatever other deployments ran
+    earlier in the process, leaking state across ``Pleroma`` instances.
+    Each :class:`~repro.network.fabric.Network` resets the counter so
+    same-seed deployments allocate identical cookies regardless of what
+    ran before them.  (Entries of two fabrics built concurrently can
+    therefore share cookie values — no consumer compares cookies across
+    fabrics.)
+    """
+    global _cookie_counter
+    _cookie_counter = itertools.count(start)
 
 
 @dataclass(frozen=True, order=True)
@@ -52,7 +80,7 @@ class FlowEntry:
     match: MulticastPrefix
     priority: int
     actions: frozenset[Action]
-    cookie: int = field(default_factory=lambda: next(_cookie_counter))
+    cookie: int = field(default_factory=_next_cookie)
 
     @classmethod
     def for_dz(
@@ -126,6 +154,23 @@ class FlowEntry:
         return f"[{self.match} prio={self.priority} -> {{{acts}}}]"
 
 
+@dataclass
+class FlowStats:
+    """Per-rule hardware counters, as real TCAMs keep them (OF 1.3 §A.3.5).
+
+    Updated by :meth:`FlowTable.record_hit` on every TCAM hit in
+    ``Switch.receive``; read out-of-band by ``FlowStatsRequest`` over the
+    control channel.  The record lives in the table keyed by the match
+    field, not on the (shared, frozen) :class:`FlowEntry`, so controller
+    shadow copies of an entry never alias the data-plane counters.
+    """
+
+    packets: int = 0
+    bytes: int = 0
+    created_at: float = 0.0
+    last_hit_at: float | None = None
+
+
 class FlowTable:
     """A prioritised prefix-match table with TCAM semantics.
 
@@ -135,14 +180,25 @@ class FlowTable:
 
     ``capacity`` models the bounded TCAM of real switches (the paper cites
     40k–180k entries per switch); inserting beyond it raises.
+
+    ``clock`` stamps per-rule install times (``FlowStats.created_at``);
+    the owning switch passes its simulator clock, standalone tables
+    default to a constant 0.0.
     """
 
-    def __init__(self, capacity: int = 180_000) -> None:
+    def __init__(
+        self,
+        capacity: int = 180_000,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         if capacity < 1:
             raise FlowTableError("flow table capacity must be positive")
         self.capacity = capacity
+        self.clock = clock if clock is not None else (lambda: 0.0)
         # prefix_len -> network -> entry; keeps lookup O(#distinct lengths).
         self._by_len: dict[int, dict[int, FlowEntry]] = {}
+        # per-rule counters, parallel structure keyed like _by_len
+        self._stats_by_len: dict[int, dict[int, FlowStats]] = {}
         self._size = 0
         self.lookups = 0
         self.misses = 0
@@ -167,7 +223,12 @@ class FlowTable:
 
     # ------------------------------------------------------------------
     def install(self, entry: FlowEntry) -> None:
-        """Add or replace the entry for ``entry.match``."""
+        """Add or replace the entry for ``entry.match``.
+
+        Replacing keeps the per-rule counters (OpenFlow MODIFY semantics:
+        a modified flow retains its statistics); a fresh match starts a
+        zeroed :class:`FlowStats` stamped with the current clock.
+        """
         bucket = self._by_len.setdefault(entry.match.prefix_len, {})
         if entry.match.network not in bucket:
             if self._size >= self.capacity:
@@ -175,6 +236,9 @@ class FlowTable:
                     f"flow table full ({self.capacity} entries)"
                 )
             self._size += 1
+            self._stats_by_len.setdefault(entry.match.prefix_len, {})[
+                entry.match.network
+            ] = FlowStats(created_at=self.clock())
         bucket[entry.match.network] = entry
 
     def remove(self, match: MulticastPrefix) -> FlowEntry:
@@ -183,14 +247,47 @@ class FlowTable:
         if bucket is None or match.network not in bucket:
             raise FlowTableError(f"no flow installed for {match}")
         entry = bucket.pop(match.network)
+        stats_bucket = self._stats_by_len[match.prefix_len]
+        del stats_bucket[match.network]
         if not bucket:
             del self._by_len[match.prefix_len]
+            del self._stats_by_len[match.prefix_len]
         self._size -= 1
         return entry
 
     def clear(self) -> None:
         self._by_len.clear()
+        self._stats_by_len.clear()
         self._size = 0
+
+    # ------------------------------------------------------------------
+    # per-rule statistics
+    # ------------------------------------------------------------------
+    def record_hit(self, entry: FlowEntry, size_bytes: int, now: float) -> None:
+        """Account one TCAM hit against the matched rule's counters.
+
+        Hot path (called per forwarded packet): two dict probes and three
+        field writes.
+        """
+        stats = self._stats_by_len[entry.match.prefix_len][entry.match.network]
+        stats.packets += 1
+        stats.bytes += size_bytes
+        stats.last_hit_at = now
+
+    def stats_for(self, match: MulticastPrefix) -> FlowStats | None:
+        """The counters of the rule installed for exactly ``match``."""
+        return self._stats_by_len.get(match.prefix_len, {}).get(match.network)
+
+    def entries_with_stats(self) -> list[tuple[FlowEntry, FlowStats]]:
+        """Every (entry, counters) pair in canonical order (prefix length
+        descending, then network address) — the order stats replies use."""
+        out: list[tuple[FlowEntry, FlowStats]] = []
+        for plen in sorted(self._by_len, reverse=True):
+            bucket = self._by_len[plen]
+            stats_bucket = self._stats_by_len[plen]
+            for network in sorted(bucket):
+                out.append((bucket[network], stats_bucket[network]))
+        return out
 
     # ------------------------------------------------------------------
     def lookup(self, address: int) -> FlowEntry | None:

@@ -11,8 +11,8 @@ link-load metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Protocol
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, NamedTuple, Protocol
 
 from repro.exceptions import TopologyError
 from repro.network.packet import Packet
@@ -22,7 +22,13 @@ from repro.obs.registry import Counter, MetricsRegistry
 if TYPE_CHECKING:
     from repro.sim.engine import Simulator
 
-__all__ = ["Link", "NetworkNode", "DEFAULT_LINK_DELAY_S", "DEFAULT_BANDWIDTH_BPS"]
+__all__ = [
+    "Link",
+    "NetworkNode",
+    "PortCounters",
+    "DEFAULT_LINK_DELAY_S",
+    "DEFAULT_BANDWIDTH_BPS",
+]
 
 #: 50 microseconds of propagation/processing per hop — datacenter scale.
 DEFAULT_LINK_DELAY_S = 50e-6
@@ -45,11 +51,25 @@ class _Direction:
 
     The packet/byte counts live in registry counters so the observability
     layer sees them; the busy-until horizon is plain scheduling state.
+    ``lost_packets`` counts frames offered while the link was down — the
+    per-direction detail behind the aggregate ``link.packets_lost_down``
+    counter, surfaced as ``tx_dropped`` in OpenFlow port statistics.
     """
 
     packets: Counter
     bytes: Counter
     busy_until: float = 0.0
+    lost_packets: int = 0
+
+
+class PortCounters(NamedTuple):
+    """One endpoint's view of its link counters (its "port counters")."""
+
+    tx_packets: int
+    tx_bytes: int
+    tx_dropped: int
+    rx_packets: int
+    rx_bytes: int
 
 
 class Link:
@@ -204,6 +224,10 @@ class Link:
             flight = None
         if not self.up:
             self._lost_down.inc()
+            if sender is self.a:
+                self._dir_ab.lost_packets += 1
+            elif sender is self.b:
+                self._dir_ba.lost_packets += 1
             if flight is not None:
                 receiver, _ = self.endpoint_for(sender)
                 flight.add(
@@ -230,6 +254,28 @@ class Link:
                 arrival=arrival,
             )
         self.sim.schedule_at(arrival, receiver.receive, packet, far_port)
+
+    def counters_for(self, node: NetworkNode) -> PortCounters:
+        """The link counters as seen from one endpoint's port.
+
+        ``tx_*`` is the direction ``node`` transmits on, ``rx_*`` the
+        reverse.  Both endpoints read the same two direction counters, so
+        in-model a peer's ``rx`` equals this end's ``tx`` modulo polling
+        skew — real loss shows up in ``tx_dropped``.
+        """
+        if node is self.a:
+            tx, rx = self._dir_ab, self._dir_ba
+        elif node is self.b:
+            tx, rx = self._dir_ba, self._dir_ab
+        else:
+            raise TopologyError(f"{node.name} is not an endpoint of this link")
+        return PortCounters(
+            tx_packets=tx.packets.value,
+            tx_bytes=tx.bytes.value,
+            tx_dropped=tx.lost_packets,
+            rx_packets=rx.packets.value,
+            rx_bytes=rx.bytes.value,
+        )
 
     # ------------------------------------------------------------------
     @property

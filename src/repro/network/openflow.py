@@ -36,7 +36,16 @@ __all__ = [
     "EchoRequest",
     "EchoReply",
     "ErrorMessage",
+    "FlowStatsRequest",
+    "FlowStatsEntry",
+    "FlowStatsReply",
+    "PortStatsRequest",
+    "PortStatsEntry",
+    "PortStatsReply",
+    "TableStatsRequest",
+    "TableStatsReply",
     "message_size",
+    "reset_xid_counter",
 ]
 
 _xids = itertools.count(1)
@@ -44,6 +53,19 @@ _xids = itertools.count(1)
 
 def _next_xid() -> int:
     return next(_xids)
+
+
+def reset_xid_counter(start: int = 1) -> None:
+    """Restart transaction-id allocation (called by ``Network.__init__``).
+
+    Xids pair requests with replies *within* one control channel; a
+    process-global counter would leak state across ``Pleroma`` instances
+    (the xid sequence of a run would depend on what ran earlier in the
+    process).  Every fabric resets the counter so same-seed deployments
+    emit identical xids regardless of prior activity.
+    """
+    global _xids
+    _xids = itertools.count(start)
 
 
 class FlowModCommand(enum.Enum):
@@ -151,10 +173,88 @@ class ErrorMessage(OpenFlowMessage):
     reason: str = ""
 
 
+# ----------------------------------------------------------------------
+# multipart statistics (OFPMP_FLOW / OFPMP_PORT_STATS / OFPMP_TABLE)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlowStatsRequest(OpenFlowMessage):
+    """Ask a switch for the per-rule counters of its flow table.
+
+    This — not any oracle read of switch internals — is how a real SDN
+    controller observes data-plane workload; the :mod:`repro.obs.telemetry`
+    poller issues these periodically over the control channel.
+    """
+
+
+@dataclass(frozen=True)
+class FlowStatsEntry:
+    """One rule's counters inside a :class:`FlowStatsReply` (not itself a
+    message; mirrors ``struct ofp_flow_stats``)."""
+
+    match: MulticastPrefix
+    priority: int
+    cookie: int
+    packet_count: int
+    byte_count: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class FlowStatsReply(OpenFlowMessage):
+    """The switch's per-rule counters at request-application time."""
+
+    datapath: str
+    entries: tuple[FlowStatsEntry, ...]
+
+
+@dataclass(frozen=True)
+class PortStatsRequest(OpenFlowMessage):
+    """Ask a switch for its per-port packet/byte/drop counters."""
+
+
+@dataclass(frozen=True)
+class PortStatsEntry:
+    """One port's counters inside a :class:`PortStatsReply` (mirrors
+    ``struct ofp_port_stats``).  ``tx_dropped`` counts frames offered to a
+    down link — the signal behind controller-side loss inference."""
+
+    port: int
+    rx_packets: int
+    tx_packets: int
+    rx_bytes: int
+    tx_bytes: int
+    tx_dropped: int
+
+
+@dataclass(frozen=True)
+class PortStatsReply(OpenFlowMessage):
+    """The switch's per-port counters at request-application time."""
+
+    datapath: str
+    ports: tuple[PortStatsEntry, ...]
+
+
+@dataclass(frozen=True)
+class TableStatsRequest(OpenFlowMessage):
+    """Ask a switch for its flow-table occupancy and lookup counters."""
+
+
+@dataclass(frozen=True)
+class TableStatsReply(OpenFlowMessage):
+    """Occupancy/lookup summary of the (single) flow table."""
+
+    datapath: str
+    active_count: int
+    capacity: int
+    lookup_count: int
+    matched_count: int
+
+
 #: OpenFlow 1.3 wire sizes: the common header is 8 bytes; the per-type
 #: body sizes below follow the spec's fixed structs (flow-mod body of
 #: 48 B plus a 24 B IPv6-prefix match TLV, packet-in/out 24/16 B headers
-#: plus the carried frame).
+#: plus the carried frame, multipart messages an 8 B multipart header
+#: plus fixed-size stats structs per entry).
 _OFP_HEADER = 8
 _FLOW_MOD_BODY = 48
 _MATCH_TLV = 24  # OXM IPv6-destination match (prefix + mask)
@@ -162,6 +262,54 @@ _PACKET_IN_BODY = 24
 _PACKET_OUT_BODY = 16
 _FEATURES_REPLY_BODY = 24
 _ERROR_BODY = 12
+_MULTIPART_HEADER = 8
+_FLOW_STATS_ENTRY = 56  # ofp_flow_stats sans match TLV
+_PORT_STATS_ENTRY = 112
+_TABLE_STATS_ENTRY = 24
+
+
+def _header_only(message: OpenFlowMessage) -> int:
+    return _OFP_HEADER
+
+
+def _multipart_fixed(message: OpenFlowMessage) -> int:
+    return _OFP_HEADER + _MULTIPART_HEADER
+
+
+#: Explicit per-type wire-size rules.  *Every* concrete message type must
+#: appear here — :func:`message_size` refuses unknown types so a new
+#: message cannot silently ride the control channel without byte
+#: accounting (a test enforces completeness).
+_SIZE_RULES: dict[type, "object"] = {
+    FlowMod: lambda m: _OFP_HEADER + _FLOW_MOD_BODY + _MATCH_TLV,
+    BarrierRequest: _header_only,
+    BarrierReply: _header_only,
+    PacketIn: lambda m: _OFP_HEADER + _PACKET_IN_BODY + m.packet.size_bytes,
+    PacketOut: lambda m: _OFP_HEADER + _PACKET_OUT_BODY + m.packet.size_bytes,
+    FeaturesRequest: _header_only,
+    FeaturesReply: lambda m: (
+        _OFP_HEADER + _FEATURES_REPLY_BODY + 8 * len(m.ports)
+    ),
+    EchoRequest: _header_only,
+    EchoReply: _header_only,
+    ErrorMessage: lambda m: (
+        _OFP_HEADER + _ERROR_BODY + len(m.reason.encode("utf-8"))
+    ),
+    FlowStatsRequest: _multipart_fixed,
+    FlowStatsReply: lambda m: (
+        _OFP_HEADER
+        + _MULTIPART_HEADER
+        + len(m.entries) * (_FLOW_STATS_ENTRY + _MATCH_TLV)
+    ),
+    PortStatsRequest: _multipart_fixed,
+    PortStatsReply: lambda m: (
+        _OFP_HEADER + _MULTIPART_HEADER + len(m.ports) * _PORT_STATS_ENTRY
+    ),
+    TableStatsRequest: _multipart_fixed,
+    TableStatsReply: lambda m: (
+        _OFP_HEADER + _MULTIPART_HEADER + _TABLE_STATS_ENTRY
+    ),
+}
 
 
 def message_size(message: OpenFlowMessage) -> int:
@@ -169,16 +317,14 @@ def message_size(message: OpenFlowMessage) -> int:
 
     The control channel uses this for its per-direction byte counters —
     the quantities behind the Fig. 7h control-traffic measurements.
+    Raises :class:`LookupError` for a message type without an explicit
+    size rule in ``_SIZE_RULES``.
     """
-    if isinstance(message, FlowMod):
-        return _OFP_HEADER + _FLOW_MOD_BODY + _MATCH_TLV
-    if isinstance(message, PacketIn):
-        return _OFP_HEADER + _PACKET_IN_BODY + message.packet.size_bytes
-    if isinstance(message, PacketOut):
-        return _OFP_HEADER + _PACKET_OUT_BODY + message.packet.size_bytes
-    if isinstance(message, FeaturesReply):
-        return _OFP_HEADER + _FEATURES_REPLY_BODY + 8 * len(message.ports)
-    if isinstance(message, ErrorMessage):
-        return _OFP_HEADER + _ERROR_BODY + len(message.reason.encode("utf-8"))
-    # barriers, echoes and the features request are header-only messages
-    return _OFP_HEADER
+    try:
+        rule = _SIZE_RULES[type(message)]
+    except KeyError:
+        raise LookupError(
+            f"no wire-size rule for {type(message).__name__}; "
+            "add one to repro.network.openflow._SIZE_RULES"
+        ) from None
+    return rule(message)  # type: ignore[operator]

@@ -1,106 +1,54 @@
-"""Telemetry: link-utilization sampling over simulated time.
+"""Deprecated home of the link-utilization sampler.
 
-The conclusion of the paper calls for "new mechanisms ... to detect and
-react to overload situations in the presence of a dynamic workload".
-Detection needs measurements; this module provides them: a sampler that
-periodically reads the byte counters of every switch-to-switch link and
-converts deltas into utilization (fraction of link capacity used during
-the sampling window), keeping a bounded history per link.
+The oracle utilization sampler used to live here, duplicating the probe in
+:mod:`repro.obs.samplers`.  There is now exactly one implementation —
+:class:`repro.obs.samplers.LinkUtilizationProbe` — and this module keeps
+the old import surface alive: :class:`LinkSample` is re-exported and
+:class:`LinkUtilizationSampler` is a thin deprecation shim delegating to
+the probe (writing into the network's shared registry).
+
+New code should use the probe directly, or — for the no-oracle view a
+real controller has — the in-band :class:`repro.obs.telemetry.StatsPoller`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+import warnings
 
-from repro.exceptions import TopologyError
 from repro.network.fabric import Network
+from repro.obs.samplers import LinkSample, LinkUtilizationProbe
 
 __all__ = ["LinkSample", "LinkUtilizationSampler"]
 
 
-@dataclass(frozen=True)
-class LinkSample:
-    """One utilization observation for one link."""
-
-    time: float
-    utilization: float
-    bytes_delta: int
-
-
-@dataclass
-class _LinkHistory:
-    last_bytes: int = 0
-    samples: deque[LinkSample] = field(default_factory=lambda: deque(maxlen=256))
-
-
 class LinkUtilizationSampler:
-    """Tracks per-link utilization between explicit ``sample()`` calls."""
+    """Deprecated alias for :class:`repro.obs.samplers.LinkUtilizationProbe`.
+
+    Keeps the historical explicit-``sample()`` API; every call delegates
+    to one probe invocation against the network's registry.
+    """
 
     def __init__(self, network: Network) -> None:
+        warnings.warn(
+            "LinkUtilizationSampler is deprecated; use "
+            "repro.obs.samplers.LinkUtilizationProbe",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.network = network
-        self._histories: dict[frozenset[str], _LinkHistory] = {}
-        self._last_sample_time: float | None = None
-        for key, link in network.links.items():
-            if all(name in network.switches for name in key):
-                self._histories[key] = _LinkHistory(last_bytes=link.total_bytes)
+        self._probe = LinkUtilizationProbe(network, network.registry)
 
     # ------------------------------------------------------------------
-    def sample(self) -> dict[frozenset[str], LinkSample]:
-        """Take one measurement; returns the new sample per link.
-
-        The first call establishes the baseline window starting at the
-        sampler's construction (time 0 if built before traffic).
-        """
-        now = self.network.sim.now
-        window = (
-            now - self._last_sample_time
-            if self._last_sample_time is not None
-            else now
-        )
-        results: dict[frozenset[str], LinkSample] = {}
-        for key, history in self._histories.items():
-            link = self.network.links[key]
-            delta = link.total_bytes - history.last_bytes
-            history.last_bytes = link.total_bytes
-            utilization = (
-                (delta * 8.0) / (link.bandwidth_bps * window)
-                if window > 0
-                else 0.0
-            )
-            sample = LinkSample(
-                time=now, utilization=utilization, bytes_delta=delta
-            )
-            history.samples.append(sample)
-            results[key] = sample
-        self._last_sample_time = now
-        return results
+    def sample(self) -> dict[frozenset, LinkSample]:
+        """Take one measurement; returns the new sample per link."""
+        return self._probe(self.network.sim.now)
 
     # ------------------------------------------------------------------
     def latest(self, a: str, b: str) -> LinkSample:
-        history = self._histories.get(frozenset((a, b)))
-        if history is None or not history.samples:
-            raise TopologyError(f"no samples for link {a!r}<->{b!r}")
-        return history.samples[-1]
+        return self._probe.latest(a, b)
 
     def history(self, a: str, b: str) -> list[LinkSample]:
-        history = self._histories.get(frozenset((a, b)))
-        if history is None:
-            raise TopologyError(f"unknown link {a!r}<->{b!r}")
-        return list(history.samples)
+        return self._probe.history(a, b)
 
-    def hottest(self) -> tuple[frozenset[str], LinkSample]:
-        """The link with the highest latest utilization."""
-        best_key = None
-        best: LinkSample | None = None
-        for key, history in sorted(
-            self._histories.items(), key=lambda kv: sorted(kv[0])
-        ):
-            if not history.samples:
-                continue
-            sample = history.samples[-1]
-            if best is None or sample.utilization > best.utilization:
-                best_key, best = key, sample
-        if best is None or best_key is None:
-            raise TopologyError("no samples taken yet")
-        return best_key, best
+    def hottest(self) -> tuple[frozenset, LinkSample]:
+        return self._probe.hottest()

@@ -61,7 +61,9 @@ class Switch:
     ) -> None:
         self.sim = sim
         self.name = name
-        self.table = FlowTable(capacity=table_capacity)
+        self.table = FlowTable(
+            capacity=table_capacity, clock=lambda: sim.now
+        )
         self.lookup_delay_s = lookup_delay_s
         self.lookup_jitter_s = lookup_jitter_s
         # The jitter seed must be a *stable* function of the name:
@@ -178,6 +180,16 @@ class Switch:
         """Register the controller callback for ``IP_pub/sub`` packets."""
         self._control_handler = handler
 
+    @property
+    def control_handler(self) -> ControlHandler | None:
+        """The currently registered ``IP_pub/sub`` diversion callback.
+
+        Read by ``Pleroma.enable_telemetry`` so the telemetry control
+        channel can take over the diversion while forwarding packet-ins to
+        whatever handler (controller, federation) was wired before it.
+        """
+        return self._control_handler
+
     def set_flight_recorder(self, recorder: FlightRecorder | None) -> None:
         """Attach (or detach, with ``None``) the data-plane flight
         recorder.  Detached is the default and costs one ``is not None``
@@ -237,6 +249,8 @@ class Switch:
                     drop="table-miss", tcam_hit=False, in_port=in_port,
                 )
             return
+        # per-rule hardware counters (read out-of-band via FlowStatsRequest)
+        self.table.record_hit(entry, packet.size_bytes, self.sim.now)
         delay = self.lookup_delay_s
         if self.lookup_jitter_s:
             delay += self._rng.uniform(0.0, self.lookup_jitter_s)

@@ -1,0 +1,199 @@
+"""Declarative alerting over polled telemetry series.
+
+An :class:`AlertRule` names a gauge metric and a threshold; the
+:class:`AlertEngine` evaluates every rule against every label series of
+that metric (see :meth:`~repro.obs.registry.MetricsRegistry.gauge_values`)
+in *simulated* time — the stats poller calls :meth:`AlertEngine.evaluate`
+after each completed poll round, so alerting latency is bounded by the
+polling period plus control-channel delay, exactly as in a real SDN
+deployment.
+
+Fire/clear semantics follow production alerting systems:
+
+* a rule *fires* after the breach condition held for ``for_windows``
+  consecutive evaluations (debouncing one-window spikes);
+* a fired alert *clears* only when the value crosses back over
+  ``clear_threshold`` (hysteresis — the band between the two thresholds
+  never flaps the alert);
+* every transition is a structured :class:`Alert` record, and the engine
+  keeps registry counters ``alerts.fired{rule=}`` / ``alerts.cleared{rule=}``
+  and the gauge ``alerts.active``.
+
+Rate rules are threshold rules over rate series: the poller publishes
+per-window rates (e.g. ``telemetry.subspace_rate_pps``) as gauges, so
+"subspace hotter than N events/s" is simply a threshold on that metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Alert", "AlertRule", "AlertEngine", "DEFAULT_ALERT_RULES"]
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold rule over a gauge metric.
+
+    ``comparison`` is ``">"`` (breach above) or ``"<"`` (breach below).
+    ``clear_threshold`` defaults to the firing threshold (no hysteresis
+    band); for a ``">"`` rule it must be <= ``threshold``, for ``"<"``
+    >= — the value must retreat past it before the alert clears.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    comparison: str = ">"
+    clear_threshold: float | None = None
+    for_windows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.comparison not in (">", "<"):
+            raise ValueError(f"comparison must be '>' or '<', got "
+                             f"{self.comparison!r}")
+        if self.for_windows < 1:
+            raise ValueError("for_windows must be >= 1")
+        clear = self.clear_threshold
+        if clear is not None:
+            ok = (clear <= self.threshold if self.comparison == ">"
+                  else clear >= self.threshold)
+            if not ok:
+                raise ValueError(
+                    "clear_threshold must be on the safe side of threshold"
+                )
+
+    def breaches(self, value: float) -> bool:
+        return (value > self.threshold if self.comparison == ">"
+                else value < self.threshold)
+
+    def clears(self, value: float) -> bool:
+        clear = (self.threshold if self.clear_threshold is None
+                 else self.clear_threshold)
+        return value < clear if self.comparison == ">" else value > clear
+
+
+@dataclass
+class Alert:
+    """One firing of a rule on one series (cleared in place later)."""
+
+    rule: str
+    series: str
+    value: float
+    fired_at: float
+    cleared_at: float | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_at is None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "series": self.series,
+            "value": self.value,
+            "fired_at": self.fired_at,
+            "cleared_at": self.cleared_at,
+        }
+
+
+#: Conservative defaults wired by ``Pleroma.enable_telemetry`` when the
+#: caller supplies no rules: TCAM pressure and any inferred port loss.
+DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
+    AlertRule(
+        name="tcam-occupancy-high",
+        metric="telemetry.tcam_occupancy",
+        threshold=0.9,
+        clear_threshold=0.75,
+    ),
+    AlertRule(
+        name="port-loss",
+        metric="telemetry.port_loss_pps",
+        threshold=0.0,
+    ),
+)
+
+
+@dataclass
+class AlertEngine:
+    """Evaluates rules against registry gauges; keeps alert state."""
+
+    registry: MetricsRegistry
+    rules: tuple[AlertRule, ...] = DEFAULT_ALERT_RULES
+    history: list[Alert] = field(default_factory=list)
+    evaluations: int = 0
+
+    def __post_init__(self) -> None:
+        self.rules = tuple(self.rules)
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self._streaks: dict[tuple[str, str], int] = {}
+        self._active: dict[tuple[str, str], Alert] = {}
+        self._g_active = self.registry.gauge("alerts.active")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float) -> list[Alert]:
+        """Run every rule once; returns alerts that fired this round."""
+        self.evaluations += 1
+        fired: list[Alert] = []
+        for rule in self.rules:
+            for series, value in self.registry.gauge_values(
+                rule.metric
+            ).items():
+                key = (rule.name, series)
+                alert = self._active.get(key)
+                if alert is not None:
+                    if rule.clears(value):
+                        alert.cleared_at = now
+                        del self._active[key]
+                        self._streaks[key] = 0
+                        self.registry.counter(
+                            "alerts.cleared", rule=rule.name
+                        ).inc()
+                    continue
+                if rule.breaches(value):
+                    streak = self._streaks.get(key, 0) + 1
+                    self._streaks[key] = streak
+                    if streak >= rule.for_windows:
+                        alert = Alert(
+                            rule=rule.name, series=series,
+                            value=value, fired_at=now,
+                        )
+                        self._active[key] = alert
+                        self.history.append(alert)
+                        fired.append(alert)
+                        self.registry.counter(
+                            "alerts.fired", rule=rule.name
+                        ).inc()
+                elif rule.clears(value):
+                    # inside the hysteresis band the streak is kept
+                    self._streaks[key] = 0
+        self._g_active.set(float(len(self._active)))
+        return fired
+
+    # ------------------------------------------------------------------
+    def active_alerts(self) -> list[Alert]:
+        """Currently firing alerts, sorted by (rule, series)."""
+        return [self._active[key] for key in sorted(self._active)]
+
+    def summary(self) -> dict:
+        """Deterministic JSON-compatible digest of the alert state."""
+        return {
+            "evaluations": self.evaluations,
+            "rules": [
+                {
+                    "name": rule.name,
+                    "metric": rule.metric,
+                    "comparison": rule.comparison,
+                    "threshold": rule.threshold,
+                    "clear_threshold": rule.clear_threshold,
+                    "for_windows": rule.for_windows,
+                }
+                for rule in self.rules
+            ],
+            "active": [alert.to_dict() for alert in self.active_alerts()],
+            "history": [alert.to_dict() for alert in self.history],
+        }

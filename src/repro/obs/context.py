@@ -46,6 +46,11 @@ class Observability:
         self.samplers: list[PeriodicSampler] = []
         self.flight: FlightRecorder | None = None
         self._flight_network = None
+        # in-band telemetry (repro.obs.telemetry / repro.obs.alerts);
+        # populated by attach_telemetry, typically via
+        # Pleroma.enable_telemetry
+        self.telemetry = None
+        self.alerts = None
         Observability._next_serial += 1
         self._serial = Observability._next_serial
         _live.add(self)
@@ -74,6 +79,25 @@ class Observability:
     def stop_sampling(self) -> None:
         for sampler in self.samplers:
             sampler.stop()
+
+    # ------------------------------------------------------------------
+    # in-band telemetry
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, poller, engine=None) -> None:
+        """Register a started :class:`~repro.obs.telemetry.StatsPoller`
+        (and optionally an :class:`~repro.obs.alerts.AlertEngine`) with
+        this bundle.
+
+        The poller joins the sampler list so traffic pokes re-arm it, and
+        the engine (if any) is subscribed to completed poll rounds.  The
+        snapshot document then grows ``telemetry`` / ``alerts`` sections.
+        """
+        self.telemetry = poller
+        self.alerts = engine
+        if poller not in self.samplers:
+            self.samplers.append(poller)
+        if engine is not None:
+            poller.round_listeners.append(engine.evaluate)
 
     # ------------------------------------------------------------------
     # data-plane flight recorder
@@ -136,6 +160,10 @@ class Observability:
         }
         if flight_summary is not None:
             document["flight"] = flight_summary
+        if self.telemetry is not None:
+            document["telemetry"] = self.telemetry.summary()
+        if self.alerts is not None:
+            document["alerts"] = self.alerts.summary()
         if include_spans:
             document["spans"] = self.tracer.to_dicts()
         return document

@@ -21,6 +21,8 @@ __all__ = [
     "write_csv",
     "metrics_csv",
     "merge_metrics",
+    "prometheus_text",
+    "write_prometheus",
     "render_report",
 ]
 
@@ -106,6 +108,112 @@ def merge_metrics(snapshots: list[dict]) -> dict:
         "gauges": dict(sorted(merged["gauges"].items())),
         "histograms": dict(sorted(merged["histograms"].items())),
     }
+
+
+# ----------------------------------------------------------------------
+# Prometheus / OpenMetrics text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Registry metric name -> Prometheus metric name (dots and every
+    other illegal character become underscores)."""
+    return "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+
+
+def _split_key(key: str) -> tuple[str, list[tuple[str, str]]]:
+    """``name{a=x,b=y}`` -> (name, [(a, x), (b, y)])."""
+    if not key.endswith("}") or "{" not in key:
+        return key, []
+    name, _, inner = key.partition("{")
+    labels = []
+    for part in inner[:-1].split(","):
+        label, _, value = part.partition("=")
+        labels.append((label, value))
+    return name, labels
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: list[tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    quoted = ",".join(
+        f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in labels
+    )
+    return "{" + quoted + "}"
+
+
+def _prom_value(value: float) -> str:
+    """Canonical float formatting (repr keeps runs byte-comparable)."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)
+
+
+def prometheus_text(metrics: dict) -> str:
+    """Render a registry snapshot in Prometheus/OpenMetrics text format.
+
+    Counters get a ``_total`` suffix, histograms expand to cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.  Families and
+    series are emitted in sorted order and floats use ``repr``, so equal
+    runs produce byte-identical exposition text.
+    """
+    families: dict[str, list[str]] = {}
+
+    def add(family: str, kind: str, line: str) -> None:
+        lines = families.setdefault(f"# TYPE {family} {kind}", [])
+        lines.append(line)
+
+    for key in sorted(metrics.get("counters", {})):
+        name, labels = _split_key(key)
+        family = _prom_name(name) + "_total"
+        add(family, "counter",
+            f"{family}{_prom_labels(labels)} "
+            f"{_prom_value(metrics['counters'][key])}")
+    for key in sorted(metrics.get("gauges", {})):
+        name, labels = _split_key(key)
+        family = _prom_name(name)
+        add(family, "gauge",
+            f"{family}{_prom_labels(labels)} "
+            f"{_prom_value(metrics['gauges'][key])}")
+    for key in sorted(metrics.get("histograms", {})):
+        name, labels = _split_key(key)
+        family = _prom_name(name)
+        h = metrics["histograms"][key]
+        cumulative = 0
+        for edge, count in zip(h["edges"], h["bucket_counts"]):
+            cumulative += count
+            add(family, "histogram",
+                f"{family}_bucket"
+                f"{_prom_labels([*labels, ('le', _prom_value(float(edge)))])} "
+                f"{cumulative}")
+        cumulative += h["bucket_counts"][-1]
+        add(family, "histogram",
+            f"{family}_bucket{_prom_labels([*labels, ('le', '+Inf')])} "
+            f"{cumulative}")
+        add(family, "histogram",
+            f"{family}_sum{_prom_labels(labels)} {_prom_value(h['sum'])}")
+        add(family, "histogram",
+            f"{family}_count{_prom_labels(labels)} {h['count']}")
+
+    out: list[str] = []
+    for header in sorted(families):
+        out.append(header)
+        out.extend(families[header])
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def write_prometheus(document: dict, path: str | Path) -> Path:
+    """Write the ``metrics`` section of a snapshot as exposition text."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    metrics = document.get("metrics", document)
+    path.write_text(prometheus_text(metrics), encoding="utf-8")
+    return path
 
 
 # ----------------------------------------------------------------------
@@ -219,4 +327,45 @@ def render_report(document: dict) -> str:
                 ("mean path stretch", f"{flight['mean_stretch']:.4g}")
             )
         _rows("data-plane flight recorder", flight_rows, out)
+    telemetry = document.get("telemetry")
+    if telemetry:
+        hitter_rows = [
+            (f"#{rank} dz={hh['dz']}",
+             f"packets={hh['packets']} "
+             f"peak rate={hh.get('peak_rate_pps', hh['rate_pps']):.6g} pps")
+            for rank, hh in enumerate(telemetry.get("heavy_hitters", []), 1)
+        ]
+        _rows("heavy hitters (polled)", hitter_rows, out)
+        loss_rows = [
+            (f"{entry['switch']} port {entry['port']}",
+             f"tx_dropped={entry['tx_dropped']} "
+             f"loss={entry['loss_pps']:.6g} pps "
+             f"skew={entry['skew_packets']}")
+            for entry in telemetry.get("port_loss", [])
+        ]
+        _rows("inferred port loss", loss_rows, out)
+        poll_rows = [
+            (name,
+             f"flows={view['flows']} polls={view['polls']} "
+             f"occupancy={view['occupancy']:.4g}"
+             if view.get("occupancy") is not None
+             else f"flows={view['flows']} polls={view['polls']}")
+            for name, view in sorted(
+                telemetry.get("switches", {}).items()
+            )
+        ]
+        _rows("telemetry polling", poll_rows, out)
+    alerts = document.get("alerts")
+    if alerts:
+        alert_rows = [
+            (f"{alert['rule']}",
+             f"{'ACTIVE' if alert['cleared_at'] is None else 'cleared'} "
+             f"{alert['series']} value={alert['value']:.6g} "
+             f"fired_at={alert['fired_at']:.6g}s")
+            for alert in alerts.get("history", [])
+        ]
+        if not alert_rows:
+            alert_rows = [("(no alerts fired)",
+                           f"{alerts.get('evaluations', 0)} evaluations")]
+        _rows("alerts", alert_rows, out)
     return "\n".join(out) + "\n"

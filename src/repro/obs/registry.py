@@ -167,6 +167,22 @@ class MetricsRegistry:
         return found
 
     # ------------------------------------------------------------------
+    def gauge_values(self, name: str) -> dict[str, float]:
+        """Current value of every gauge series of one metric name, keyed
+        by the full instrument key, in sorted order.
+
+        The alert engine evaluates its rules over these series: a rule
+        names a metric, and every label set of that metric is one
+        independently tracked series.
+        """
+        prefix = name + "{"
+        return {
+            key: self._gauges[key].value
+            for key in sorted(self._gauges)
+            if key == name or key.startswith(prefix)
+        }
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Zero every counter and histogram (gauges keep their last value).
 

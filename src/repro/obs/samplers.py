@@ -22,13 +22,30 @@ the layer stack.
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import dataclass
 from collections.abc import Callable, Iterable
 
+from repro.exceptions import TopologyError
 from repro.obs.registry import OCCUPANCY_BUCKETS, MetricsRegistry
 
-__all__ = ["PeriodicSampler", "LinkUtilizationProbe", "TcamOccupancyProbe"]
+__all__ = [
+    "PeriodicSampler",
+    "LinkSample",
+    "LinkUtilizationProbe",
+    "TcamOccupancyProbe",
+]
 
 Probe = Callable[[float], None]
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """One utilization observation for one link."""
+
+    time: float
+    utilization: float
+    bytes_delta: int
 
 
 class PeriodicSampler:
@@ -87,10 +104,21 @@ class LinkUtilizationProbe:
     """Samples switch-to-switch link load into the registry.
 
     Per link: gauge ``link.utilization{link=a<->b}`` (load during the last
-    window) and one shared histogram ``link.utilization`` of every sample.
+    window), one shared histogram ``link.utilization`` of every sample,
+    and a bounded per-link :class:`LinkSample` history readable through
+    :meth:`latest` / :meth:`history` / :meth:`hottest`.
+
+    This is the single link-utilization implementation; the legacy
+    ``repro.network.stats.LinkUtilizationSampler`` is a deprecation shim
+    delegating here.
     """
 
-    def __init__(self, network, registry: MetricsRegistry) -> None:
+    def __init__(
+        self,
+        network,
+        registry: MetricsRegistry,
+        history_maxlen: int = 256,
+    ) -> None:
         self.network = network
         self.registry = registry
         self._last_bytes: dict[str, int] = {}
@@ -99,16 +127,19 @@ class LinkUtilizationProbe:
             (("<->".join(sorted(key)), key) for key in network.links
              if all(name in network.switches for name in key)),
         )
+        self._histories: dict[frozenset, deque[LinkSample]] = {}
         for label, key in self._keys:
             self._last_bytes[label] = network.links[key].total_bytes
+            self._histories[key] = deque(maxlen=history_maxlen)
         self._histogram = registry.histogram(
             "link.utilization", OCCUPANCY_BUCKETS
         )
 
-    def __call__(self, now: float) -> None:
+    def __call__(self, now: float) -> dict[frozenset, LinkSample]:
         window = (
             now - self._last_time if self._last_time is not None else now
         )
+        results: dict[frozenset, LinkSample] = {}
         for label, key in self._keys:
             link = self.network.links[key]
             delta = link.total_bytes - self._last_bytes[label]
@@ -122,7 +153,43 @@ class LinkUtilizationProbe:
                 utilization
             )
             self._histogram.observe(utilization)
+            sample = LinkSample(
+                time=now, utilization=utilization, bytes_delta=delta
+            )
+            self._histories[key].append(sample)
+            results[key] = sample
         self._last_time = now
+        return results
+
+    # ------------------------------------------------------------------
+    # history accessors (the former LinkUtilizationSampler API)
+    # ------------------------------------------------------------------
+    def latest(self, a: str, b: str) -> LinkSample:
+        history = self._histories.get(frozenset((a, b)))
+        if history is None or not history:
+            raise TopologyError(f"no samples for link {a!r}<->{b!r}")
+        return history[-1]
+
+    def history(self, a: str, b: str) -> list[LinkSample]:
+        history = self._histories.get(frozenset((a, b)))
+        if history is None:
+            raise TopologyError(f"unknown link {a!r}<->{b!r}")
+        return list(history)
+
+    def hottest(self) -> tuple[frozenset, LinkSample]:
+        """The link with the highest latest utilization."""
+        best_key = None
+        best: LinkSample | None = None
+        for _label, key in self._keys:
+            history = self._histories[key]
+            if not history:
+                continue
+            sample = history[-1]
+            if best is None or sample.utilization > best.utilization:
+                best_key, best = key, sample
+        if best is None or best_key is None:
+            raise TopologyError("no samples taken yet")
+        return best_key, best
 
 
 class TcamOccupancyProbe:

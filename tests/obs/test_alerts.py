@@ -1,0 +1,134 @@
+"""The declarative alert engine: thresholds, hysteresis, debouncing."""
+
+import pytest
+
+from repro.obs.alerts import DEFAULT_ALERT_RULES, AlertEngine, AlertRule
+from repro.obs.registry import MetricsRegistry
+
+
+def make_engine(*rules: AlertRule):
+    registry = MetricsRegistry()
+    return AlertEngine(registry=registry, rules=tuple(rules)), registry
+
+
+RULE = AlertRule(
+    name="occupancy", metric="occ", threshold=0.9, clear_threshold=0.75
+)
+
+
+class TestAlertRule:
+    def test_comparison_validation(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="x", metric="m", threshold=1.0, comparison=">=")
+
+    def test_for_windows_validation(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="x", metric="m", threshold=1.0, for_windows=0)
+
+    def test_clear_threshold_must_be_on_safe_side(self):
+        with pytest.raises(ValueError):
+            AlertRule(
+                name="x", metric="m", threshold=0.5, clear_threshold=0.6
+            )
+        AlertRule(
+            name="x", metric="m", threshold=0.5, comparison="<",
+            clear_threshold=0.6,
+        )
+
+    def test_below_comparison(self):
+        rule = AlertRule(
+            name="low", metric="m", threshold=10.0, comparison="<"
+        )
+        assert rule.breaches(5.0)
+        assert not rule.breaches(15.0)
+        assert rule.clears(15.0)
+
+
+class TestEngine:
+    def test_fire_and_clear_with_hysteresis(self):
+        engine, registry = make_engine(RULE)
+        gauge = registry.gauge("occ", switch="R1")
+        gauge.set(0.95)
+        fired = engine.evaluate(now=1.0)
+        assert len(fired) == 1
+        assert fired[0].series == "occ{switch=R1}"
+        # inside the hysteresis band the alert stays active
+        gauge.set(0.8)
+        assert engine.evaluate(now=2.0) == []
+        assert len(engine.active_alerts()) == 1
+        # only crossing the clear threshold clears it
+        gauge.set(0.5)
+        engine.evaluate(now=3.0)
+        assert engine.active_alerts() == []
+        (alert,) = engine.history
+        assert alert.fired_at == 1.0
+        assert alert.cleared_at == 3.0
+        assert not alert.active
+
+    def test_no_refire_while_active(self):
+        engine, registry = make_engine(RULE)
+        registry.gauge("occ", switch="R1").set(0.95)
+        engine.evaluate(now=1.0)
+        engine.evaluate(now=2.0)
+        assert len(engine.history) == 1
+
+    def test_for_windows_debounces_single_spike(self):
+        rule = AlertRule(
+            name="spike", metric="m", threshold=1.0, for_windows=3
+        )
+        engine, registry = make_engine(rule)
+        gauge = registry.gauge("m", host="h1")
+        gauge.set(2.0)
+        assert engine.evaluate(now=1.0) == []
+        assert engine.evaluate(now=2.0) == []
+        fired = engine.evaluate(now=3.0)  # third consecutive breach
+        assert len(fired) == 1
+        # a dip below the threshold resets the streak
+        engine2, registry2 = make_engine(rule)
+        gauge2 = registry2.gauge("m", host="h1")
+        for value in (2.0, 2.0, 0.0, 2.0, 2.0):
+            gauge2.set(value)
+            assert engine2.evaluate(now=1.0) == []
+
+    def test_each_series_tracked_independently(self):
+        engine, registry = make_engine(RULE)
+        registry.gauge("occ", switch="R1").set(0.95)
+        registry.gauge("occ", switch="R2").set(0.1)
+        fired = engine.evaluate(now=1.0)
+        assert [a.series for a in fired] == ["occ{switch=R1}"]
+
+    def test_registry_counters_and_active_gauge(self):
+        engine, registry = make_engine(RULE)
+        gauge = registry.gauge("occ", switch="R1")
+        gauge.set(0.95)
+        engine.evaluate(now=1.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["alerts.fired{rule=occupancy}"] == 1
+        assert snap["gauges"]["alerts.active"] == 1.0
+        gauge.set(0.1)
+        engine.evaluate(now=2.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["alerts.cleared{rule=occupancy}"] == 1
+        assert snap["gauges"]["alerts.active"] == 0.0
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine(RULE, RULE)
+
+    def test_summary_is_json_compatible_and_sorted(self):
+        import json
+
+        engine, registry = make_engine(RULE)
+        registry.gauge("occ", switch="R1").set(0.95)
+        engine.evaluate(now=1.0)
+        summary = engine.summary()
+        assert json.dumps(summary, sort_keys=True)
+        assert summary["evaluations"] == 1
+        assert summary["active"][0]["rule"] == "occupancy"
+
+    def test_default_rules_cover_tcam_and_loss(self):
+        metrics = {rule.metric for rule in DEFAULT_ALERT_RULES}
+        assert metrics == {
+            "telemetry.tcam_occupancy",
+            "telemetry.port_loss_pps",
+        }

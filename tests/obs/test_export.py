@@ -7,9 +7,11 @@ from repro.obs.export import (
     load_json,
     merge_metrics,
     metrics_csv,
+    prometheus_text,
     render_report,
     write_csv,
     write_json,
+    write_prometheus,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Simulator
@@ -93,6 +95,117 @@ class TestReport:
         reg.counter("c").inc()
         text = render_report(reg.snapshot())
         assert "c" in text
+
+    def test_renders_telemetry_and_alert_sections(self):
+        """A snapshot from a telemetry-enabled deployment grows heavy
+        hitter, port-loss, polling and alert sections in the report."""
+        document = make_snapshot()
+        document["telemetry"] = {
+            "period_s": 0.01,
+            "ticks": 3,
+            "rounds_started": 2,
+            "rounds_completed": 2,
+            "switches": {
+                "R1": {
+                    "polls": 2, "poll_errors": 0, "flows": 1,
+                    "flows_at": 0.02, "rtt_s": 2e-4, "occupancy": 0.5,
+                    "lookups": 9, "matched": 9,
+                    "rule_churn": {"added": 1, "removed": 0},
+                },
+            },
+            "heavy_hitters": [
+                {"dz": "101", "packets": 9, "rate_pps": 0.0,
+                 "peak_rate_pps": 450.0},
+            ],
+            "port_loss": [
+                {"switch": "R1", "port": 2, "tx_dropped": 3,
+                 "loss_pps": 150.0, "skew_packets": 0},
+            ],
+        }
+        document["alerts"] = {
+            "evaluations": 2,
+            "rules": [],
+            "active": [],
+            "history": [
+                {"rule": "port-loss", "series":
+                 "telemetry.port_loss_pps{port=2,switch=R1}",
+                 "value": 150.0, "threshold": 0.0,
+                 "fired_at": 0.02, "cleared_at": None},
+            ],
+        }
+        text = render_report(document)
+        assert "heavy hitters (polled)" in text
+        assert "dz=101" in text
+        assert "inferred port loss" in text
+        assert "telemetry polling" in text
+        assert "alerts" in text
+        assert "port-loss" in text
+
+    def test_alertless_telemetry_report_shows_evaluations(self):
+        document = make_snapshot()
+        document["alerts"] = {
+            "evaluations": 7, "rules": [], "active": [], "history": [],
+        }
+        text = render_report(document)
+        assert "(no alerts fired)" in text
+
+
+class TestPrometheus:
+    def test_counters_get_total_suffix_and_sorted_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("events.published").inc(5)
+        reg.counter("telemetry.polls", switch="R1").inc(2)
+        text = prometheus_text(reg.snapshot())
+        assert "# TYPE events_published_total counter" in text
+        assert "events_published_total 5" in text
+        assert 'telemetry_polls_total{switch="R1"} 2' in text
+        assert text.endswith("# EOF\n")
+
+    def test_gauges_render_plain(self):
+        reg = MetricsRegistry()
+        reg.gauge("telemetry.tcam_occupancy", switch="R1").set(0.25)
+        text = prometheus_text(reg.snapshot())
+        assert 'telemetry_tcam_occupancy{switch="R1"} 0.25' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("delay", (1.0, 2.0))
+        for value in (0.5, 0.5, 1.5, 99.0):
+            h.observe(value)
+        text = prometheus_text(reg.snapshot())
+        assert 'delay_bucket{le="1.0"} 2' in text
+        assert 'delay_bucket{le="2.0"} 3' in text
+        assert 'delay_bucket{le="+Inf"} 4' in text
+        assert "delay_count 4" in text
+        assert "delay_sum" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", path='a"b\\c').set(1.0)
+        text = prometheus_text(reg.snapshot())
+        assert 'g{path="a\\"b\\\\c"} 1.0' in text
+
+    def test_output_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").inc()
+            reg.counter("a", x="1").inc(3)
+            reg.gauge("m", s="R2").set(2.0)
+            reg.gauge("m", s="R1").set(1.0)
+            return prometheus_text(reg.snapshot())
+
+        assert build() == build()
+        # families and series appear in sorted order
+        lines = build().splitlines()
+        type_lines = [ln for ln in lines if ln.startswith("# TYPE")]
+        assert type_lines == sorted(type_lines)
+
+    def test_write_prometheus_unwraps_snapshot_documents(self, tmp_path):
+        document = make_snapshot()
+        path = write_prometheus(document, tmp_path / "deep" / "m.prom")
+        text = path.read_text()
+        assert "events_published_total 10" in text
+        assert text.endswith("# EOF\n")
 
 
 class TestObservabilityBundle:

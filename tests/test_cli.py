@@ -333,3 +333,70 @@ class TestChaos:
         document = json.loads(out_file.read_text())
         assert document["schedule"]["seed"] == 0
         assert document["final"]["verifier_ok"] is True
+
+
+class TestStats:
+    def test_stats_text_summary(self, capsys):
+        assert main(
+            ["stats", "--topology", "line", "--events", "60", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stats: line, 60 events, seed 1" in out
+        assert "poll rounds:" in out
+        assert "control plane:" in out
+        assert "heavy hitters" in out
+        assert "per-switch polling:" in out
+        assert "reconciliation vs oracle: max per-rule error 0 packet(s)" \
+            in out
+
+    def test_stats_json_is_deterministic(self, capsys):
+        import json
+
+        args = ["stats", "--topology", "ring", "--events", "40",
+                "--seed", "2", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["reconciliation"]["max_rule_error_packets"] == 0
+        assert document["telemetry"]["rounds_completed"] >= 1
+        assert document["control_plane"]["bytes_to_controller"] > 0
+        assert document["telemetry"]["heavy_hitters"], "skew found hitters"
+
+    def test_stats_out_and_prom_files(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "stats.json"
+        prom_file = tmp_path / "metrics.prom"
+        assert main(
+            ["stats", "--topology", "line", "--events", "30",
+             "--out", str(out_file), "--prom", str(prom_file)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(out_file.read_text())
+        assert document["workload"]["topology"] == "line"
+        prom = prom_file.read_text()
+        assert "telemetry_poll_rounds_total" in prom
+        assert prom.endswith("# EOF\n")
+
+    def test_stats_snapshot_matches_committed_artifact(self, capsys):
+        """The committed BENCH_PR5 snapshot is exactly what the CLI
+        produces for its recorded workload — regression-pins the whole
+        telemetry pipeline end to end."""
+        import json
+        import pathlib
+
+        snapshot = pathlib.Path(
+            __file__
+        ).parent.parent / "benchmarks" / "_snapshots" / "BENCH_PR5.json"
+        recorded = json.loads(snapshot.read_text())
+        workload = recorded["workload"]
+        assert main(
+            ["stats", "--topology", workload["topology"],
+             "--events", str(workload["events"]),
+             "--seed", str(workload["seed"]), "--json"]
+        ) == 0
+        produced = json.loads(capsys.readouterr().out)
+        assert produced == recorded
